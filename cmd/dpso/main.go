@@ -1,0 +1,128 @@
+// Command dpso runs one distributed-PSO configuration — the paper's
+// parameters (n, k, r) on one benchmark function — and prints the solution
+// quality, evaluation counts and coordination metrics.
+//
+// Examples:
+//
+//	dpso -f Sphere -n 100 -k 16 -r 16 -evals 100000
+//	dpso -f Griewank -n 1000 -k 16 -threshold 1e-10 -maxevals 1048576
+//	dpso -f Rastrigin -n 64 -topo ring -loss 0.25 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gossipopt"
+)
+
+func main() {
+	var (
+		fname     = flag.String("f", "Sphere", "benchmark function ("+strings.Join(names(), ", ")+")")
+		n         = flag.Int("n", 100, "number of nodes")
+		k         = flag.Int("k", 16, "particles per node")
+		r         = flag.Int("r", 0, "gossip cycle length in local evals (0 = k, -1 = no coordination)")
+		c         = flag.Int("c", 20, "Newscast view size")
+		evals     = flag.Int64("evals", 1<<20, "total evaluation budget")
+		threshold = flag.Float64("threshold", -1, "stop at this quality (negative = budget mode)")
+		maxevals  = flag.Int64("maxevals", 1<<20, "evaluation cap in threshold mode")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		topoName  = flag.String("topo", "newscast", "topology: newscast, random, ring, star, full")
+		loss      = flag.Float64("loss", 0, "coordination message loss probability")
+		dim       = flag.Int("dim", 0, "dimension override (0 = paper default)")
+		quiet     = flag.Bool("q", false, "print only the final quality")
+	)
+	flag.Parse()
+
+	f, err := gossipopt.FunctionByName(*fname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	topo, err := parseTopo(*topoName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	gossipEvery := *r
+	switch {
+	case gossipEvery == 0:
+		gossipEvery = *k
+	case gossipEvery < 0:
+		gossipEvery = 0
+	}
+
+	net := gossipopt.New(gossipopt.Config{
+		Nodes:       *n,
+		Particles:   *k,
+		GossipEvery: gossipEvery,
+		ViewSize:    *c,
+		Function:    f,
+		Dim:         *dim,
+		Seed:        *seed,
+		Topology:    topo,
+		DropProb:    *loss,
+	})
+
+	start := time.Now()
+	var cycles, spent int64
+	reached := false
+	if *threshold >= 0 {
+		cycles, spent, reached = net.RunUntil(*threshold, *maxevals)
+	} else {
+		cycles = net.RunEvals(*evals)
+		spent = net.TotalEvals()
+	}
+	elapsed := time.Since(start)
+
+	if *quiet {
+		fmt.Printf("%g\n", net.Quality())
+		return
+	}
+	best, ok := net.GlobalBest()
+	fmt.Printf("function        %s (dim %d, domain [%g, %g])\n", f.Name, f.Dim(*dim), f.Lo, f.Hi)
+	fmt.Printf("network         n=%d k=%d r=%d c=%d topo=%s loss=%.2f seed=%d\n",
+		*n, *k, gossipEvery, *c, topo, *loss, *seed)
+	fmt.Printf("quality         %.6g\n", net.Quality())
+	if ok {
+		fmt.Printf("best fitness    %.6g\n", best.F)
+	}
+	fmt.Printf("total evals     %d\n", spent)
+	fmt.Printf("time (cycles)   %d local evaluations per node\n", cycles)
+	if *threshold >= 0 {
+		fmt.Printf("threshold       %g reached=%v\n", *threshold, reached)
+	}
+	m := net.Metrics()
+	fmt.Printf("coordination    exchanges=%d lost=%d adoptions=%d\n",
+		m.Exchanges, m.LostExchanges, m.Adoptions)
+	fmt.Printf("wall time       %v\n", elapsed.Round(time.Millisecond))
+}
+
+func names() []string {
+	out := make([]string, len(gossipopt.ExtendedSuite))
+	for i, f := range gossipopt.ExtendedSuite {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func parseTopo(s string) (gossipopt.TopologyKind, error) {
+	switch s {
+	case "newscast":
+		return gossipopt.TopoNewscast, nil
+	case "random":
+		return gossipopt.TopoRandom, nil
+	case "ring":
+		return gossipopt.TopoRing, nil
+	case "star":
+		return gossipopt.TopoStar, nil
+	case "full":
+		return gossipopt.TopoFull, nil
+	case "cyclon":
+		return gossipopt.TopoCyclon, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q", s)
+}

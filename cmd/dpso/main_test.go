@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseTopo(t *testing.T) {
+	for _, name := range []string{"newscast", "random", "ring", "star", "full", "cyclon"} {
+		topo, err := parseTopo(name)
+		if err != nil {
+			t.Fatalf("parseTopo(%q): %v", name, err)
+		}
+		if topo.String() != name {
+			t.Fatalf("round trip: %q -> %q", name, topo.String())
+		}
+	}
+	if _, err := parseTopo("hypercube"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestNamesListsPaperFunctions(t *testing.T) {
+	got := names()
+	want := map[string]bool{"F2": false, "Sphere": false, "Griewank": false}
+	for _, n := range got {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("function %s missing from names()", n)
+		}
+	}
+}

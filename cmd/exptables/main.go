@@ -1,0 +1,169 @@
+// Command exptables regenerates the paper's tables and figures (and this
+// repository's ablations). Each experiment prints a paper-style
+// avg/min/max/Var table, renders ASCII versions of the figures, and
+// optionally writes gnuplot-ready TSV series files.
+//
+// Examples:
+//
+//	exptables -exp 1 -scale quick            # Table 1 + Figure 1, laptop scale
+//	exptables -exp all -scale quick -out out # everything, TSVs into ./out
+//	exptables -exp 4 -scale paper -reps 50   # full paper-scale run (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gossipopt"
+	"gossipopt/internal/exp"
+	"gossipopt/internal/plot"
+)
+
+type experiment struct {
+	id    string
+	title string
+	cells func(exp.Spec, bool) []exp.Cell
+	figs  func(*exp.Report) []*plot.Chart
+}
+
+var experiments = []experiment{
+	{"1", "Experiment 1: solution quality vs swarm size (Table 1, Figure 1)",
+		exp.Experiment1, (*exp.Report).Figure1},
+	{"2", "Experiment 2: solution quality vs network size (Table 2, Figure 2)",
+		exp.Experiment2, (*exp.Report).Figure2},
+	{"3", "Experiment 3: solution quality vs gossip cycle length (Table 3, Figure 3)",
+		exp.Experiment3, (*exp.Report).Figure3},
+	{"4", "Experiment 4: total time to quality 1e-10 vs network size (Table 4, Figure 4)",
+		exp.Experiment4, (*exp.Report).Figure4},
+	{"a1", "Ablation: coordination vs independent swarms",
+		exp.AblationNoGossip, nil},
+	{"a2", "Ablation: topology service (newscast/random/ring/star)",
+		exp.AblationTopology, nil},
+	{"a3", "Ablation: churn robustness (catastrophic crash fractions)",
+		exp.AblationChurn, nil},
+	{"a4", "Ablation: solver diversification (pso/de/es/mixed)",
+		exp.AblationMixedSolvers, nil},
+	{"a5", "Ablation: coordination message loss",
+		exp.AblationMessageLoss, nil},
+}
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "experiment id: 1,2,3,4,a1..a5 or all (comma-separated)")
+		scale   = flag.String("scale", "quick", "quick or paper")
+		reps    = flag.Int("reps", 0, "override repetitions per cell")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		outDir  = flag.String("out", "", "directory for TSV series files (empty = skip)")
+		noAscii = flag.Bool("no-ascii", false, "suppress ASCII figures")
+		funcsCS = flag.String("funcs", "", "comma-separated function subset (default: paper suite)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	var spec exp.Spec
+	quick := *scale != "paper"
+	if quick {
+		spec = gossipopt.QuickSpec()
+	} else {
+		spec = gossipopt.PaperSpec()
+	}
+	spec.Seed = *seed
+	if *reps > 0 {
+		spec.Reps = *reps
+	}
+	if *funcsCS != "" {
+		var fs []gossipopt.Function
+		for _, name := range strings.Split(*funcsCS, ",") {
+			f, err := gossipopt.FunctionByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			fs = append(fs, f)
+		}
+		spec.Funcs = fs
+	}
+
+	ids := map[string]bool{}
+	if *which == "all" {
+		for _, e := range experiments {
+			ids[e.id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			ids[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range experiments {
+		if !ids[e.id] {
+			continue
+		}
+		cells := e.cells(spec, quick)
+		fmt.Printf("\n########## %s ##########\n", e.title)
+		fmt.Printf("# %d cells x %d reps (scale=%s, seed=%d)\n", len(cells), spec.Reps, *scale, *seed)
+		start := time.Now()
+		runner := &exp.Runner{Reps: spec.Reps, BaseSeed: spec.Seed, Workers: *workers}
+		report := &exp.Report{Title: e.title, Results: runner.Sweep(cells)}
+		fmt.Printf("# completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+		fmt.Println(report.Table())
+
+		fmt.Println("Per-function best rows (the paper's table format):")
+		for _, row := range report.BestRows() {
+			metric := row.Quality
+			unit := "quality"
+			if row.Cell.Threshold >= 0 {
+				metric = row.Time
+				unit = "time"
+			}
+			fmt.Printf("  %-12s %-8s avg=%-12.5g min=%-12.5g max=%-12.5g var=%-12.5g (%s)\n",
+				row.Cell.Function.Name, unit, metric.Avg, metric.Min, metric.Max, metric.Var,
+				row.Cell.Label())
+		}
+
+		if e.figs != nil {
+			charts := e.figs(report)
+			for _, ch := range charts {
+				if !*noAscii {
+					fmt.Println()
+					fmt.Println(ch.ASCII(72, 18))
+				}
+				if *outDir != "" {
+					name := sanitize(ch.Title) + ".tsv"
+					path := filepath.Join(*outDir, name)
+					if err := os.WriteFile(path, []byte(ch.TSV()), 0o644); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Printf("# wrote %s\n", path)
+				}
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Experiment 1: Foo (Table 1)": "experiment_1_foo_table_1",
+		"a-b_c d":                     "a_b_c_d",
+		"UPPER":                       "upper",
+		"weird*chars?":                "weirdchars",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.cells == nil {
+			t.Fatalf("experiment %q has no cell builder", e.id)
+		}
+		if e.title == "" {
+			t.Fatalf("experiment %q has no title", e.id)
+		}
+	}
+	for _, id := range []string{"1", "2", "3", "4", "a1", "a2", "a3", "a4", "a5"} {
+		if !seen[id] {
+			t.Fatalf("experiment %q missing", id)
+		}
+	}
+}

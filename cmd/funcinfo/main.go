@@ -1,0 +1,58 @@
+// Command funcinfo inspects the benchmark functions: domains, optima, the
+// paper's hardness classification, and values along a line through the
+// optimum (a quick sanity probe of the landscape).
+//
+// Examples:
+//
+//	funcinfo               # table of all functions
+//	funcinfo -f Schaffer   # details and a radial profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gossipopt"
+)
+
+func main() {
+	var (
+		fname = flag.String("f", "", "show details for one function")
+		dim   = flag.Int("dim", 0, "dimension override")
+		probe = flag.Int("probe", 9, "number of radial probe points")
+	)
+	flag.Parse()
+
+	if *fname == "" {
+		fmt.Printf("%-15s %6s %12s %12s %-6s %s\n", "name", "dim", "lo", "hi", "hard", "optimum f")
+		for _, f := range gossipopt.ExtendedSuite {
+			fmt.Printf("%-15s %6d %12g %12g %-6s %g\n",
+				f.Name, f.Dim(0), f.Lo, f.Hi, f.Hardness, f.OptimumValue)
+		}
+		return
+	}
+
+	f, err := gossipopt.FunctionByName(*fname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d := f.Dim(*dim)
+	opt := f.OptimumAt(d)
+	fmt.Printf("name        %s\n", f.Name)
+	fmt.Printf("dimension   %d\n", d)
+	fmt.Printf("domain      [%g, %g]^%d\n", f.Lo, f.Hi, d)
+	fmt.Printf("hardness    %s\n", f.Hardness)
+	fmt.Printf("optimum at  %v\n", opt)
+	fmt.Printf("f(optimum)  %g\n", f.Eval(opt))
+	fmt.Println("\nradial profile from the optimum toward the domain corner:")
+	for i := 0; i <= *probe; i++ {
+		t := float64(i) / float64(*probe)
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = opt[j] + t*(f.Hi-opt[j])
+		}
+		fmt.Printf("  t=%.2f  f=%.6g\n", t, f.Eval(x))
+	}
+}

@@ -1,0 +1,103 @@
+// Command p2pnode runs one live framework node over TCP. Start a first
+// node, then point further nodes (possibly on other machines) at it with
+// -join; the cluster self-organizes via Newscast and cooperates on the
+// objective via anti-entropy gossip. The node prints its best point
+// periodically and exits cleanly on SIGINT/SIGTERM.
+//
+// Example (three terminals):
+//
+//	p2pnode -listen 127.0.0.1:7001 -f Rastrigin
+//	p2pnode -listen 127.0.0.1:7002 -join 127.0.0.1:7001 -f Rastrigin
+//	p2pnode -listen 127.0.0.1:7003 -join 127.0.0.1:7001 -f Rastrigin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gossipopt"
+	"gossipopt/internal/p2p"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		join     = flag.String("join", "", "comma-separated bootstrap addresses")
+		fname    = flag.String("f", "Sphere", "benchmark function")
+		k        = flag.Int("k", 16, "particles in the local swarm")
+		r        = flag.Int("r", 0, "gossip every r local evaluations (0 = k)")
+		c        = flag.Int("c", 20, "Newscast view size")
+		interval = flag.Duration("newscast", 500*time.Millisecond, "Newscast cycle interval")
+		throttle = flag.Duration("throttle", time.Millisecond, "delay between evaluations (simulated objective cost)")
+		report   = flag.Duration("report", 2*time.Second, "status report interval")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = derive from address)")
+		runFor   = flag.Duration("for", 0, "run duration (0 = until signal)")
+	)
+	flag.Parse()
+
+	f, err := gossipopt.FunctionByName(*fname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var bootstrap []string
+	if *join != "" {
+		for _, a := range strings.Split(*join, ",") {
+			bootstrap = append(bootstrap, strings.TrimSpace(a))
+		}
+	}
+
+	node, err := p2p.Start(p2p.NodeConfig{
+		Listen:           *listen,
+		Bootstrap:        bootstrap,
+		Function:         f,
+		Particles:        *k,
+		GossipEvery:      *r,
+		ViewSize:         *c,
+		NewscastInterval: *interval,
+		EvalThrottle:     *throttle,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("node listening on %s (function %s, k=%d)\n", node.Addr(), f.Name, *k)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+	var deadline <-chan time.Time
+	if *runFor > 0 {
+		deadline = time.After(*runFor)
+	}
+
+	for {
+		select {
+		case <-ticker.C:
+			_, best, ok := node.Best()
+			ex, ad, fl := node.Stats()
+			status := "warming up"
+			if ok {
+				status = fmt.Sprintf("best=%.6g", best)
+			}
+			fmt.Printf("[%s] evals=%d %s peers=%d exchanges=%d adoptions=%d failed=%d\n",
+				node.Addr(), node.Evals(), status, len(node.Peers()), ex, ad, fl)
+		case <-sig:
+			fmt.Println("\nshutting down")
+			node.Stop()
+			return
+		case <-deadline:
+			_, best, _ := node.Best()
+			fmt.Printf("final best after %v: %.6g (%d evals)\n", *runFor, best, node.Evals())
+			node.Stop()
+			return
+		}
+	}
+}

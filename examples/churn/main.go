@@ -1,0 +1,59 @@
+// Churn: the paper's motivating scenario — an organization's desktop pool
+// where workstations join and leave at will — including a catastrophic
+// failure of half the network mid-run. The optimization survives both, as
+// §3.3.4 claims: no single point of failure, graceful slowdown only.
+//
+// Run with: go run ./examples/churn
+package main
+
+import (
+	"fmt"
+
+	"gossipopt"
+	"gossipopt/internal/sim"
+)
+
+// deskPool models continuous background churn plus one catastrophe: every
+// cycle ~0.3 % of workstations shut down and ~0.3 of a workstation joins
+// (fractions accumulate); at cycle 400 half the building loses power.
+type deskPool struct {
+	background  *sim.RateChurn
+	catastrophe *sim.CatastropheChurn
+}
+
+func (d *deskPool) Apply(e *sim.Engine) {
+	d.background.Apply(e)
+	d.catastrophe.Apply(e)
+}
+
+func main() {
+	churn := &deskPool{
+		background:  &sim.RateChurn{CrashProb: 0.003, JoinPerCycle: 0.3, MinLive: 10},
+		catastrophe: &sim.CatastropheChurn{AtCycle: 400, Fraction: 0.5},
+	}
+	net := gossipopt.New(gossipopt.Config{
+		Nodes:       128,
+		Particles:   16,
+		GossipEvery: 16,
+		Function:    gossipopt.Sphere,
+		Seed:        7,
+		Churn:       churn,
+	})
+
+	fmt.Println("cycle  live  quality")
+	for cycle := 0; cycle < 1200; cycle++ {
+		net.Step()
+		if cycle%100 == 99 || cycle == 400 {
+			marker := ""
+			if cycle == 400 {
+				marker = "  <- catastrophe: 50% of nodes crashed"
+			}
+			fmt.Printf("%5d  %4d  %.6g%s\n",
+				cycle+1, net.Engine().LiveCount(), net.Quality(), marker)
+		}
+	}
+
+	fmt.Printf("\nsurvived: %d nodes alive, quality %.6g after %d total evaluations\n",
+		net.Engine().LiveCount(), net.Quality(), net.TotalEvals())
+	fmt.Println("the computation never depended on any single node")
+}

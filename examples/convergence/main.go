@@ -1,0 +1,44 @@
+// Convergence: records quality-vs-evaluations traces for three gossip
+// rates and renders them as an ASCII chart — the dynamics behind the
+// paper's Figure 3 (more gossip, faster convergence), visible as full
+// curves rather than end-of-run points.
+//
+// Run with: go run ./examples/convergence
+package main
+
+import (
+	"fmt"
+
+	"gossipopt"
+	"gossipopt/internal/core"
+	"gossipopt/internal/exp"
+)
+
+func main() {
+	const (
+		nodes  = 50
+		budget = 200000
+	)
+	traces := map[string]*exp.Trace{}
+	for _, r := range []int{4, 32, 0} { // 0 = no coordination
+		label := fmt.Sprintf("r=%d", r)
+		if r == 0 {
+			label = "isolated"
+		}
+		net := core.NewNetwork(core.Config{
+			Nodes:       nodes,
+			Particles:   16,
+			GossipEvery: r,
+			Function:    gossipopt.Rastrigin,
+			Seed:        3,
+		})
+		traces[label] = exp.TraceRun(net, budget, budget/60)
+		fmt.Printf("%-9s final quality %.6g\n", label, traces[label].Final())
+	}
+
+	fmt.Println()
+	chart := exp.ConvergenceChart("Rastrigin, 50 nodes x 16 particles — gossip rate", traces)
+	fmt.Println(chart.ASCII(76, 20))
+	fmt.Println("frequent gossip (r=4) converges fastest; isolated swarms stall at")
+	fmt.Println("whatever their luckiest member finds — the paper's Figure 3 dynamics.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: optimize a 10-dimensional Rastrigin function with 64
+// simulated nodes cooperating through gossip — the smallest complete use
+// of the public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"gossipopt"
+)
+
+func main() {
+	// A network of 64 nodes, each running a 16-particle swarm. Nodes find
+	// gossip partners via Newscast peer sampling and exchange their best
+	// point every 16 local evaluations (r = k, the paper's default).
+	net := gossipopt.New(gossipopt.Config{
+		Nodes:       64,
+		Particles:   16,
+		GossipEvery: 16,
+		Function:    gossipopt.Rastrigin,
+		Seed:        42,
+	})
+
+	// Spend a global budget of 2^19 function evaluations, reporting
+	// convergence as it happens.
+	const budget = 1 << 19
+	for net.TotalEvals() < budget {
+		net.RunEvals(net.TotalEvals() + budget/8)
+		fmt.Printf("evals=%7d  quality=%.6g\n", net.TotalEvals(), net.Quality())
+	}
+
+	best, _ := net.GlobalBest()
+	fmt.Printf("\nfinal quality %.6g after %d evaluations\n", net.Quality(), net.TotalEvals())
+	fmt.Printf("best point (first 3 coords): %.4f %.4f %.4f\n", best.X[0], best.X[1], best.X[2])
+
+	m := net.Metrics()
+	fmt.Printf("coordination: %d exchanges, %d adoptions\n", m.Exchanges, m.Adoptions)
+}

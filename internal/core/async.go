@@ -1,0 +1,300 @@
+package core
+
+import (
+	"math"
+
+	"gossipopt/internal/funcs"
+	"gossipopt/internal/overlay"
+	"gossipopt/internal/pso"
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+	"gossipopt/internal/solver"
+	"gossipopt/internal/vec"
+)
+
+// The asynchronous network runs the identical three services on the
+// event-driven engine: evaluations take (jittered) wall-clock time,
+// Newscast exchanges and best-point gossip travel as messages subject to a
+// LinkModel's latency and loss. It validates that the cycle-driven results
+// are not artifacts of lock-step execution — the paper's deployment target
+// is, after all, fully asynchronous.
+
+// AsyncConfig describes an event-driven deployment. Times are in abstract
+// simulated units (think milliseconds).
+type AsyncConfig struct {
+	// Nodes, Particles, GossipEvery, ViewSize: as in Config.
+	Nodes       int
+	Particles   int
+	GossipEvery int
+	ViewSize    int
+	Function    funcs.Function
+	Dim         int
+	Seed        uint64
+	// SolverFactory overrides the default PSO swarm.
+	SolverFactory solver.Factory
+	// EvalTime is the mean duration of one objective evaluation; each
+	// evaluation is jittered ±20 % so nodes naturally desynchronize.
+	EvalTime float64
+	// NewscastPeriod is the wall-clock interval between view exchanges
+	// (the paper suggests 10–60 s real time; scale freely).
+	NewscastPeriod float64
+	// Link models message latency and loss (nil: 0.1–1.0 time-unit
+	// latency, no loss).
+	Link sim.LinkModel
+}
+
+func (c AsyncConfig) withDefaults() AsyncConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Particles == 0 {
+		c.Particles = 16
+	}
+	if c.GossipEvery == 0 {
+		c.GossipEvery = c.Particles
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 20
+	}
+	if c.Function.Eval == nil {
+		c.Function = funcs.Sphere
+	}
+	if c.EvalTime == 0 {
+		c.EvalTime = 1
+	}
+	if c.NewscastPeriod == 0 {
+		c.NewscastPeriod = 10
+	}
+	if c.Link == nil {
+		c.Link = sim.UniformLink{MinDelay: 0.1, MaxDelay: 1}
+	}
+	return c
+}
+
+// Message types of the asynchronous protocol.
+type (
+	evalTick     struct{}
+	newscastTick struct{}
+	viewPush     struct {
+		From sim.NodeID
+		View []overlay.Descriptor
+	}
+	viewReply struct {
+		View []overlay.Descriptor
+	}
+	bestPush struct {
+		From sim.NodeID
+		X    []float64
+		F    float64
+	}
+	bestReply struct {
+		X []float64
+		F float64
+	}
+)
+
+// asyncNode is the per-node handler: solver + view + counters.
+type asyncNode struct {
+	net    *AsyncNetwork
+	id     sim.NodeID
+	view   *overlay.View
+	solver solver.Solver
+
+	sinceGossip int
+
+	// Metrics.
+	Evals     int64
+	Exchanges int64
+	Adoptions int64
+}
+
+// stamp converts engine time into a logical Newscast timestamp.
+func stamp(e *sim.EventEngine) int64 { return int64(e.Now() * 1024) }
+
+// Deliver implements sim.Handler.
+func (a *asyncNode) Deliver(n *sim.Node, msg any, e *sim.EventEngine) {
+	switch m := msg.(type) {
+	case evalTick:
+		a.solver.EvalOne()
+		a.Evals++
+		a.sinceGossip++
+		if a.sinceGossip >= a.net.cfg.GossipEvery {
+			a.sinceGossip = 0
+			a.gossipBest(n, e)
+		}
+		jitter := 0.8 + 0.4*n.RNG.Float64()
+		e.SendAfter(a.net.cfg.EvalTime*jitter, a.id, evalTick{})
+
+	case newscastTick:
+		if peer, ok := a.samplePeer(n.RNG); ok {
+			view := append(a.view.Descriptors(),
+				overlay.Descriptor{ID: a.id, Stamp: stamp(e)})
+			e.Send(a.id, peer, viewPush{From: a.id, View: view})
+		}
+		e.SendAfter(a.net.cfg.NewscastPeriod, a.id, newscastTick{})
+
+	case viewPush:
+		// Reply with our own view before merging theirs (symmetric
+		// exchange over two messages).
+		mine := append(a.view.Descriptors(),
+			overlay.Descriptor{ID: a.id, Stamp: stamp(e)})
+		e.Send(a.id, m.From, viewReply{View: mine})
+		a.view.Merge(a.id, m.View)
+
+	case viewReply:
+		a.view.Merge(a.id, m.View)
+
+	case bestPush:
+		if a.solver.Inject(m.X, m.F) {
+			a.Adoptions++
+		}
+		if x, f := a.solver.Best(); x != nil && f < m.F {
+			e.Send(a.id, m.From, bestReply{X: vec.Clone(x), F: f})
+		}
+
+	case bestReply:
+		if a.solver.Inject(m.X, m.F) {
+			a.Adoptions++
+		}
+	}
+}
+
+func (a *asyncNode) samplePeer(r *rng.RNG) (sim.NodeID, bool) {
+	ids := a.view.IDs()
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[r.Intn(len(ids))], true
+}
+
+func (a *asyncNode) gossipBest(n *sim.Node, e *sim.EventEngine) {
+	peer, ok := a.samplePeer(n.RNG)
+	if !ok {
+		return
+	}
+	x, f := a.solver.Best()
+	if x == nil {
+		return
+	}
+	a.Exchanges++
+	e.Send(a.id, peer, bestPush{From: a.id, X: vec.Clone(x), F: f})
+}
+
+// AsyncNetwork is a running event-driven deployment.
+type AsyncNetwork struct {
+	cfg   AsyncConfig
+	eng   *sim.EventEngine
+	nodes []*asyncNode
+}
+
+// NewAsyncNetwork wires an event-driven network: every node gets a solver,
+// a bootstrapped view, and staggered eval/newscast timers.
+func NewAsyncNetwork(cfg AsyncConfig) *AsyncNetwork {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEventEngine(cfg.Seed, cfg.Link)
+	net := &AsyncNetwork{cfg: cfg, eng: eng}
+
+	mk := cfg.SolverFactory
+	if mk == nil {
+		mk = func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+			return pso.New(f, dim, cfg.Particles, cfg.PSOConfig(), r)
+		}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		a := &asyncNode{net: net}
+		n := eng.AddNode(a)
+		a.id = n.ID
+		a.view = overlay.NewView(cfg.ViewSize)
+		a.solver = mk(cfg.Function, cfg.Dim, n.RNG.Split())
+		net.nodes = append(net.nodes, a)
+	}
+	// Bootstrap views with up to ViewSize random other nodes.
+	r := eng.RNG()
+	for _, a := range net.nodes {
+		k := cfg.ViewSize
+		if k > cfg.Nodes-1 {
+			k = cfg.Nodes - 1
+		}
+		for _, idx := range r.Sample(cfg.Nodes-1, k) {
+			j := idx
+			if sim.NodeID(j) >= a.id {
+				j++
+			}
+			a.view.Insert(a.id, overlay.Descriptor{ID: sim.NodeID(j), Stamp: 0})
+		}
+	}
+	// Stagger timers so nodes do not tick in lockstep.
+	for _, a := range net.nodes {
+		eng.SendAfter(r.Float64()*cfg.EvalTime, a.id, evalTick{})
+		eng.SendAfter(r.Float64()*cfg.NewscastPeriod, a.id, newscastTick{})
+	}
+	return net
+}
+
+// PSOConfig returns the PSO configuration used by the default factory
+// (zero value: canonical convergent parameters).
+func (c AsyncConfig) PSOConfig() pso.Config { return pso.Config{} }
+
+// Engine exposes the underlying event engine.
+func (net *AsyncNetwork) Engine() *sim.EventEngine { return net.eng }
+
+// RunFor advances simulated time by dt (bounded by maxEvents deliveries).
+func (net *AsyncNetwork) RunFor(dt float64, maxEvents int64) {
+	net.eng.RunUntil(net.eng.Now()+dt, maxEvents)
+}
+
+// TotalEvals sums evaluations across all nodes.
+func (net *AsyncNetwork) TotalEvals() int64 {
+	var t int64
+	for _, a := range net.nodes {
+		t += a.Evals
+	}
+	return t
+}
+
+// GlobalBest returns the best point known to any live node.
+func (net *AsyncNetwork) GlobalBest() (BestPoint, bool) {
+	best := BestPoint{F: math.Inf(1)}
+	found := false
+	for _, a := range net.nodes {
+		if n := net.eng.Node(a.id); n == nil || !n.Alive {
+			continue
+		}
+		if x, f := a.solver.Best(); x != nil && f < best.F {
+			best = BestPoint{X: x, F: f}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Quality returns f(best) − f(x*), infinity before any evaluation.
+func (net *AsyncNetwork) Quality() float64 {
+	b, ok := net.GlobalBest()
+	if !ok {
+		return math.Inf(1)
+	}
+	return b.F - net.cfg.Function.OptimumValue
+}
+
+// Crash kills node i (0-based), as a real host failure: its timers and
+// queued messages are silently dropped.
+func (net *AsyncNetwork) Crash(i int) {
+	if i >= 0 && i < len(net.nodes) {
+		net.eng.Crash(net.nodes[i].id)
+	}
+}
+
+// Metrics sums coordination counters across live nodes.
+func (net *AsyncNetwork) Metrics() Metrics {
+	var m Metrics
+	for _, a := range net.nodes {
+		if n := net.eng.Node(a.id); n == nil || !n.Alive {
+			continue
+		}
+		m.Exchanges += a.Exchanges
+		m.Adoptions += a.Adoptions
+	}
+	return m
+}

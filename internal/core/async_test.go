@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gossipopt/internal/funcs"
+	"gossipopt/internal/sim"
+)
+
+func TestAsyncSingleNodeConverges(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{
+		Nodes: 1, Particles: 16, Function: funcs.Sphere, Seed: 1,
+	})
+	net.RunFor(40000, 1<<22)
+	if q := net.Quality(); q > 1e-8 {
+		t.Fatalf("quality %g after 40k time units (%d evals)", q, net.TotalEvals())
+	}
+}
+
+func TestAsyncEvalsAccumulate(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{
+		Nodes: 8, Particles: 8, Function: funcs.Sphere, Seed: 2, EvalTime: 1,
+	})
+	net.RunFor(1000, 1<<22)
+	// 8 nodes × ~1000 evals (±20 % jitter).
+	got := net.TotalEvals()
+	if got < 6000 || got > 11000 {
+		t.Fatalf("TotalEvals = %d, want ≈ 8000", got)
+	}
+}
+
+func TestAsyncGossipDiffuses(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{
+		Nodes: 16, Particles: 8, GossipEvery: 8,
+		Function: funcs.Sphere, Seed: 3,
+	})
+	net.RunFor(4000, 1<<22)
+	if m := net.Metrics(); m.Exchanges == 0 || m.Adoptions == 0 {
+		t.Fatalf("no gossip traffic: %+v", m)
+	}
+	// All nodes should be near the global best.
+	gb, ok := net.GlobalBest()
+	if !ok {
+		t.Fatal("no best")
+	}
+	for i, a := range net.nodes {
+		_, f := a.solver.Best()
+		if f > gb.F*1e9+1e-3 {
+			t.Fatalf("node %d best %g far from global %g", i, f, gb.F)
+		}
+	}
+}
+
+func TestAsyncWithLatencyAndLoss(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{
+		Nodes: 16, Particles: 8, GossipEvery: 8,
+		Function: funcs.Sphere, Seed: 4,
+		Link: sim.UniformLink{MinDelay: 1, MaxDelay: 20, LossProb: 0.3},
+	})
+	net.RunFor(5000, 1<<22)
+	if q := net.Quality(); q > 1e-4 {
+		t.Fatalf("quality %g under 30%% loss and high latency", q)
+	}
+	if net.Engine().Dropped() == 0 {
+		t.Fatal("no messages dropped at LossProb 0.3")
+	}
+}
+
+func TestAsyncCrashTolerance(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{
+		Nodes: 20, Particles: 8, GossipEvery: 8,
+		Function: funcs.Sphere, Seed: 5,
+	})
+	net.RunFor(500, 1<<22)
+	for i := 0; i < 10; i++ {
+		net.Crash(i)
+	}
+	before := net.TotalEvals()
+	net.RunFor(3000, 1<<22)
+	if net.TotalEvals() <= before {
+		t.Fatal("survivors stopped evaluating after crashes")
+	}
+	if q := net.Quality(); math.IsInf(q, 1) {
+		t.Fatal("no best among survivors")
+	}
+}
+
+func TestAsyncDeterministic(t *testing.T) {
+	run := func() (float64, int64) {
+		net := NewAsyncNetwork(AsyncConfig{
+			Nodes: 8, Particles: 8, Function: funcs.Rastrigin, Seed: 6,
+			Link: sim.UniformLink{MinDelay: 0.5, MaxDelay: 2, LossProb: 0.1},
+		})
+		net.RunFor(2000, 1<<22)
+		return net.Quality(), net.TotalEvals()
+	}
+	q1, e1 := run()
+	q2, e2 := run()
+	if q1 != q2 || e1 != e2 {
+		t.Fatalf("non-deterministic: (%g, %d) vs (%g, %d)", q1, e1, q2, e2)
+	}
+}
+
+func TestAsyncMatchesCycleDrivenShape(t *testing.T) {
+	// The async network must show the same qualitative behaviour as the
+	// cycle-driven one: coordination beats isolation at equal budget.
+	quality := func(gossipEvery int) float64 {
+		net := NewAsyncNetwork(AsyncConfig{
+			Nodes: 24, Particles: 16, GossipEvery: gossipEvery,
+			Function: funcs.Rastrigin, Seed: 7,
+		})
+		net.RunFor(3000, 1<<22)
+		return net.Quality()
+	}
+	with := quality(16)
+	without := quality(1 << 30) // effectively never gossips
+	if with > without {
+		t.Fatalf("async coordination (%g) lost to isolation (%g)", with, without)
+	}
+}
+
+func TestAsyncDefaults(t *testing.T) {
+	c := AsyncConfig{}.withDefaults()
+	if c.Nodes != 1 || c.Particles != 16 || c.GossipEvery != 16 ||
+		c.ViewSize != 20 || c.EvalTime != 1 || c.NewscastPeriod != 10 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Link == nil || c.Function.Name != "Sphere" {
+		t.Fatal("link/function defaults missing")
+	}
+}

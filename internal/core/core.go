@@ -1,0 +1,411 @@
+// Package core implements the paper's primary contribution: the generic
+// decentralized optimization framework of Section 3, composed of three
+// services per node —
+//
+//   - a topology service (Newscast peer sampling, or any static topology)
+//     maintaining the overlay used to find gossip partners;
+//   - a function optimization service (a per-node PSO swarm by default,
+//     or any solver.Solver) that spends one function evaluation per
+//     simulation cycle;
+//   - a coordination service: an anti-entropy epidemic that, every r local
+//     evaluations, exchanges the node's swarm optimum ⟨g_p, f(g_p)⟩ with a
+//     sampled peer, both sides keeping the better point.
+//
+// Network wires the three services onto a sim.Engine for n nodes and
+// exposes the run/measure operations the paper's experiments need: run to
+// a global evaluation budget, run to a quality threshold, and read the
+// global best.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"gossipopt/internal/funcs"
+	"gossipopt/internal/overlay"
+	"gossipopt/internal/pso"
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+	"gossipopt/internal/solver"
+	"gossipopt/internal/vec"
+)
+
+// Protocol slots used by the framework on every node.
+const (
+	// SlotTopology holds the PeerSampler (Newscast or Static).
+	SlotTopology = 0
+	// SlotOpt holds the OptNode (optimizer + coordination services).
+	SlotOpt = 1
+)
+
+// BestPoint is the coordination service's payload: a position in the
+// search space and its fitness.
+type BestPoint struct {
+	X []float64
+	F float64
+}
+
+// Better reports whether b is strictly better (lower fitness) than o.
+func (b BestPoint) Better(o BestPoint) bool { return b.F < o.F }
+
+// OptNode is the per-node composition of the function optimization service
+// and the coordination service. It implements sim.Protocol: each cycle it
+// spends exactly one function evaluation, and after every R evaluations it
+// initiates one anti-entropy exchange of the node's best point.
+type OptNode struct {
+	// Solver is the node's function optimization service.
+	Solver solver.Solver
+	// R is the gossip cycle length: one exchange every R local
+	// evaluations. R <= 0 disables coordination entirely (the paper's
+	// "without coordination" extreme of independent searches).
+	R int
+	// DropProb loses each initiated exchange with this probability
+	// (message loss; §3.3.4 — only slows diffusion down).
+	DropProb float64
+
+	sinceGossip int
+
+	// Metrics.
+	Exchanges     int64 // initiated exchanges
+	LostExchanges int64 // exchanges lost to drops or dead peers
+	Adoptions     int64 // times a remote best was adopted locally
+}
+
+// NextCycle implements sim.Protocol.
+func (o *OptNode) NextCycle(n *sim.Node, e *sim.Engine) {
+	o.Solver.EvalOne()
+	if o.R <= 0 {
+		return
+	}
+	o.sinceGossip++
+	if o.sinceGossip >= o.R {
+		o.sinceGossip = 0
+		o.gossip(n, e)
+	}
+}
+
+// gossip performs the paper's §3.3.3 exchange: p sends ⟨g_p, f(g_p)⟩ to a
+// sampled peer q; if p's point is better q adopts it, otherwise q replies
+// with its own and p adopts. Both sides end with the better point.
+func (o *OptNode) gossip(n *sim.Node, e *sim.Engine) {
+	sampler, ok := n.Protocol(SlotTopology).(overlay.PeerSampler)
+	if !ok {
+		return
+	}
+	peerID, ok := sampler.SamplePeer(n.RNG)
+	if !ok {
+		return
+	}
+	o.Exchanges++
+	if o.DropProb > 0 && n.RNG.Bool(o.DropProb) {
+		o.LostExchanges++
+		return
+	}
+	peer := e.Node(peerID)
+	if peer == nil || !peer.Alive {
+		o.LostExchanges++
+		return
+	}
+	remote, ok := peer.Protocol(SlotOpt).(*OptNode)
+	if !ok {
+		return
+	}
+
+	gx, gf := o.Solver.Best()
+	rx, rf := remote.Solver.Best()
+	switch {
+	case gx == nil && rx == nil:
+		return
+	case rx == nil || (gx != nil && gf < rf):
+		// p's point wins: q adopts. Clone: solver-owned slices mutate.
+		if remote.Solver.Inject(vec.Clone(gx), gf) {
+			remote.Adoptions++
+		}
+	case gx == nil || rf < gf:
+		// q replies with its better point: p adopts.
+		if o.Solver.Inject(vec.Clone(rx), rf) {
+			o.Adoptions++
+		}
+	}
+}
+
+// TopologyKind selects the topology service implementation.
+type TopologyKind int
+
+// Topology service choices.
+const (
+	// TopoNewscast is the paper's choice: gossip-based peer sampling.
+	TopoNewscast TopologyKind = iota
+	// TopoRandom is a static k-regular random graph (Newscast's idealized
+	// stationary shape, without maintenance traffic).
+	TopoRandom
+	// TopoRing is a static bidirectional ring.
+	TopoRing
+	// TopoStar is the master-slave star the paper contrasts with.
+	TopoStar
+	// TopoFull gives every node a full membership view.
+	TopoFull
+	// TopoCyclon uses the Cyclon shuffle-based peer sampling protocol
+	// instead of Newscast.
+	TopoCyclon
+)
+
+// String names the topology kind.
+func (t TopologyKind) String() string {
+	switch t {
+	case TopoNewscast:
+		return "newscast"
+	case TopoRandom:
+		return "random"
+	case TopoRing:
+		return "ring"
+	case TopoStar:
+		return "star"
+	case TopoFull:
+		return "full"
+	case TopoCyclon:
+		return "cyclon"
+	}
+	return "unknown"
+}
+
+// Config describes one distributed-optimization deployment, in the paper's
+// notation: n nodes each running a swarm of k particles, exchanging the
+// swarm optimum every r local evaluations over a view of size c.
+type Config struct {
+	// Nodes is n, the network size.
+	Nodes int
+	// Particles is k, the per-node swarm size (PSO default solver).
+	Particles int
+	// GossipEvery is r, the coordination cycle length in local
+	// evaluations. The paper's default is r = k. Zero disables
+	// coordination (independent swarms).
+	GossipEvery int
+	// ViewSize is Newscast's c (default 20).
+	ViewSize int
+	// Function is the objective; Dim overrides its default dimension when
+	// positive.
+	Function funcs.Function
+	Dim      int
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Topology selects the topology service (default Newscast).
+	Topology TopologyKind
+	// PSO tunes the default PSO solver; ignored when SolverFactory is set.
+	PSO pso.Config
+	// SolverFactory, when non-nil, replaces the default per-node PSO
+	// swarm (solver diversification; the paper's future work).
+	SolverFactory solver.Factory
+	// DropProb is the coordination message-loss probability.
+	DropProb float64
+	// Churn, when non-nil, is applied by the engine every cycle.
+	Churn sim.ChurnModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Particles == 0 {
+		c.Particles = 16
+	}
+	if c.ViewSize == 0 {
+		c.ViewSize = 20
+	}
+	if c.Function.Eval == nil {
+		c.Function = funcs.Sphere
+	}
+	return c
+}
+
+// Network is a running deployment of the framework.
+type Network struct {
+	cfg Config
+	eng *sim.Engine
+}
+
+// NewNetwork builds and wires a network per cfg: n nodes, each with a
+// topology service in slot 0 and an OptNode in slot 1. Nodes joining later
+// through churn are wired identically and bootstrap their view from a
+// random live node (the "bootstrap service" of a real deployment).
+func NewNetwork(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine(cfg.Seed)
+
+	mkSolver := cfg.SolverFactory
+	if mkSolver == nil {
+		mkSolver = func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+			return pso.New(f, dim, cfg.Particles, cfg.PSO, r)
+		}
+	}
+	newOptNode := func(r *rng.RNG) *OptNode {
+		return &OptNode{
+			Solver:   mkSolver(cfg.Function, cfg.Dim, r.Split()),
+			R:        cfg.GossipEvery,
+			DropProb: cfg.DropProb,
+		}
+	}
+
+	// Factory handles churn-joined nodes; initial nodes are re-wired below.
+	eng.SetNodeFactory(func(n *sim.Node) {
+		nc := overlay.NewNewscast(n.ID, cfg.ViewSize, SlotTopology)
+		if b := eng.RandomLiveNode(n.ID); b != nil {
+			nc.Bootstrap([]sim.NodeID{b.ID})
+		}
+		n.Protocols = []sim.Protocol{nc, newOptNode(n.RNG)}
+	})
+
+	nodes := eng.AddNodes(cfg.Nodes)
+
+	// Topology service.
+	switch cfg.Topology {
+	case TopoNewscast:
+		overlay.InitNewscast(eng, SlotTopology, cfg.ViewSize)
+	case TopoRandom:
+		overlay.InitStatic(eng, SlotTopology, overlay.KRegularRandom(cfg.ViewSize))
+	case TopoRing:
+		overlay.InitStatic(eng, SlotTopology, overlay.Ring)
+	case TopoStar:
+		overlay.InitStatic(eng, SlotTopology, overlay.Star)
+	case TopoFull:
+		overlay.InitStatic(eng, SlotTopology, overlay.FullMesh)
+	case TopoCyclon:
+		overlay.InitCyclon(eng, SlotTopology, cfg.ViewSize, cfg.ViewSize/2)
+	}
+
+	// Optimizer + coordination service. InitNewscast/InitStatic already
+	// sized the protocol slice; ensure slot 1 exists and fill it.
+	for _, n := range nodes {
+		for len(n.Protocols) <= SlotOpt {
+			n.Protocols = append(n.Protocols, nil)
+		}
+		n.Protocols[SlotOpt] = newOptNode(n.RNG)
+	}
+
+	if cfg.Churn != nil {
+		eng.SetChurn(cfg.Churn)
+	}
+	return &Network{cfg: cfg, eng: eng}
+}
+
+// Engine exposes the underlying simulation engine.
+func (net *Network) Engine() *sim.Engine { return net.eng }
+
+// Config returns the network's (defaulted) configuration.
+func (net *Network) Config() Config { return net.cfg }
+
+// Step runs one simulation cycle: every live node spends one evaluation
+// and gossips if due.
+func (net *Network) Step() { net.eng.RunCycle() }
+
+// TotalEvals returns the number of objective evaluations performed by all
+// nodes, dead or alive — the paper's global budget e.
+func (net *Network) TotalEvals() int64 {
+	var total int64
+	for _, n := range net.eng.AllNodes() {
+		if len(n.Protocols) > SlotOpt {
+			if o, ok := n.Protocol(SlotOpt).(*OptNode); ok {
+				total += o.Solver.Evals()
+			}
+		}
+	}
+	return total
+}
+
+// GlobalBest returns the best point known to any live node (the paper's
+// global optimum g) and false if no node has evaluated yet.
+func (net *Network) GlobalBest() (BestPoint, bool) {
+	best := BestPoint{F: math.Inf(1)}
+	found := false
+	net.eng.ForEachLive(func(n *sim.Node) {
+		o, ok := n.Protocol(SlotOpt).(*OptNode)
+		if !ok {
+			return
+		}
+		if x, f := o.Solver.Best(); x != nil && f < best.F {
+			best = BestPoint{X: x, F: f}
+			found = true
+		}
+	})
+	return best, found
+}
+
+// Quality returns the paper's solution-quality metric for the current
+// global best: f(best) − f(x*). Infinity before any evaluation.
+func (net *Network) Quality() float64 {
+	b, ok := net.GlobalBest()
+	if !ok {
+		return math.Inf(1)
+	}
+	return b.F - net.cfg.Function.OptimumValue
+}
+
+// RunEvals runs cycles until at least totalEvals objective evaluations have
+// been performed network-wide, the configuration of the paper's first
+// three experiment sets. It returns the cycles executed.
+func (net *Network) RunEvals(totalEvals int64) int64 {
+	var cycles int64
+	for net.TotalEvals() < totalEvals {
+		if net.eng.LiveCount() == 0 {
+			break
+		}
+		net.eng.RunCycle()
+		cycles++
+	}
+	return cycles
+}
+
+// RunUntil runs cycles until the global solution quality reaches the
+// threshold or the evaluation budget is exhausted. It returns the local
+// time (cycles ≡ evaluations per node), the total evaluations spent, and
+// whether the threshold was reached — the measurements of the paper's
+// fourth experiment set.
+func (net *Network) RunUntil(threshold float64, maxEvals int64) (cycles, evals int64, reached bool) {
+	for {
+		if net.Quality() <= threshold {
+			return cycles, net.TotalEvals(), true
+		}
+		if net.TotalEvals() >= maxEvals || net.eng.LiveCount() == 0 {
+			return cycles, net.TotalEvals(), false
+		}
+		net.eng.RunCycle()
+		cycles++
+	}
+}
+
+// Metrics aggregates coordination-service counters across all nodes.
+type Metrics struct {
+	Exchanges, LostExchanges, Adoptions int64
+}
+
+// Metrics returns the summed coordination counters (live nodes only).
+func (net *Network) Metrics() Metrics {
+	var m Metrics
+	net.eng.ForEachLive(func(n *sim.Node) {
+		if o, ok := n.Protocol(SlotOpt).(*OptNode); ok {
+			m.Exchanges += o.Exchanges
+			m.LostExchanges += o.LostExchanges
+			m.Adoptions += o.Adoptions
+		}
+	})
+	return m
+}
+
+// String summarizes the network.
+func (net *Network) String() string {
+	return fmt.Sprintf("core.Network{n=%d k=%d r=%d topo=%s f=%s evals=%d quality=%g}",
+		net.cfg.Nodes, net.cfg.Particles, net.cfg.GossipEvery,
+		net.cfg.Topology, net.cfg.Function.Name, net.TotalEvals(), net.Quality())
+}
+
+// MixedFactory round-robins over the given factories, assigning a
+// different solver type to successive nodes — the paper's envisioned
+// "module diversification among peers".
+func MixedFactory(factories ...solver.Factory) solver.Factory {
+	i := 0
+	return func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+		mk := factories[i%len(factories)]
+		i++
+		return mk(f, dim, r)
+	}
+}

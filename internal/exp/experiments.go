@@ -1,0 +1,363 @@
+package exp
+
+import (
+	"fmt"
+
+	"gossipopt/internal/core"
+	"gossipopt/internal/funcs"
+	"gossipopt/internal/pso"
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+	"gossipopt/internal/solver"
+)
+
+// Spec sizes an experiment. Paper() returns the exact parameters of the
+// paper; Quick(f) shrinks network sizes, budgets and repetitions by roughly
+// the given factor while preserving the swept shapes, so the full suite
+// runs on a laptop in minutes (benchmarks use even smaller settings).
+type Spec struct {
+	// Funcs is the benchmark suite (default: the paper's six functions).
+	Funcs []funcs.Function
+	// Reps is the number of repetitions per cell (paper: 50).
+	Reps int
+	// Seed is the base seed for derived per-repetition seeds.
+	Seed uint64
+
+	// Ns, Ks, Rs are the swept values for the experiment (interpretation
+	// varies per experiment; unset fields take the experiment's paper
+	// values).
+	Ns, Ks, Rs []int
+	// BudgetPerNode is experiment 1/3's e/n (paper: 1000).
+	BudgetPerNode int64
+	// TotalBudget is experiment 2's e (paper: 2^20).
+	TotalBudget int64
+	// Threshold and MaxEvals drive experiment 4 (paper: 1e-10, cap 2^20).
+	Threshold float64
+	MaxEvals  int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Funcs == nil {
+		s.Funcs = funcs.PaperSuite
+	}
+	if s.Reps == 0 {
+		s.Reps = 50
+	}
+	if s.BudgetPerNode == 0 {
+		s.BudgetPerNode = 1000
+	}
+	if s.TotalBudget == 0 {
+		s.TotalBudget = 1 << 20
+	}
+	if s.Threshold == 0 {
+		s.Threshold = 1e-10
+	}
+	if s.MaxEvals == 0 {
+		s.MaxEvals = 1 << 20
+	}
+	return s
+}
+
+// Paper returns the paper's exact experiment parameters.
+func Paper() Spec { return Spec{}.withDefaults() }
+
+// Quick returns a laptop-scale spec preserving the sweeps' shape: smaller
+// networks, smaller budgets, fewer repetitions.
+func Quick() Spec {
+	return Spec{
+		Reps:          5,
+		BudgetPerNode: 1000,
+		TotalBudget:   1 << 15,
+		Threshold:     1e-10,
+		MaxEvals:      1 << 17,
+		Ns:            nil, // experiments pick reduced defaults
+	}.withDefaults()
+}
+
+func pow2s(lo, hi int) []int {
+	var out []int
+	for i := lo; i <= hi; i++ {
+		out = append(out, 1<<i)
+	}
+	return out
+}
+
+// Experiment1 is the paper's first set (Table 1, Figure 1): solution
+// quality after a fixed per-node budget (e = 1000·n, r = k) as the swarm
+// size k and network size n vary.
+func Experiment1(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	ns := s.Ns
+	ks := s.Ks
+	if ns == nil {
+		if quick {
+			ns = []int{1, 10, 100}
+		} else {
+			ns = []int{1, 10, 100, 1000}
+		}
+	}
+	if ks == nil {
+		ks = []int{1, 4, 8, 16, 32}
+	}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, n := range ns {
+			for _, k := range ks {
+				cells = append(cells, Cell{
+					Function: f, N: n, K: k, R: k,
+					Budget:    int64(n) * s.BudgetPerNode,
+					Threshold: -1,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Experiment2 is the second set (Table 2, Figure 2): quality under a fixed
+// *total* budget e = 2^20 as the network size n = 2^i grows, for several
+// swarm sizes. The paper's finding: quality depends on the total particle
+// count n·k, not on how particles are spread across nodes.
+func Experiment2(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	ns := s.Ns
+	ks := s.Ks
+	if ns == nil {
+		if quick {
+			ns = pow2s(0, 8)
+		} else {
+			ns = pow2s(0, 16)
+		}
+	}
+	if ks == nil {
+		ks = []int{1, 4, 8, 16}
+	}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, n := range ns {
+			for _, k := range ks {
+				cells = append(cells, Cell{
+					Function: f, N: n, K: k, R: k,
+					Budget:    s.TotalBudget,
+					Threshold: -1,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Experiment3 is the third set (Table 3, Figure 3): quality as the gossip
+// cycle length r varies from 2 to 64 local evaluations, k = 16, per-node
+// budget 1000 evaluations — the coordination-rate sweep.
+func Experiment3(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	ns := s.Ns
+	rs := s.Rs
+	if ns == nil {
+		if quick {
+			ns = []int{10, 100}
+		} else {
+			ns = []int{10, 100, 1000}
+		}
+	}
+	if rs == nil {
+		if quick {
+			rs = []int{2, 8, 16, 32, 64}
+		} else {
+			rs = []int{2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48, 52, 56, 60, 64}
+		}
+	}
+	k := 16
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, n := range ns {
+			for _, r := range rs {
+				cells = append(cells, Cell{
+					Function: f, N: n, K: k, R: r,
+					Budget:    int64(n) * s.BudgetPerNode,
+					Threshold: -1,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// Experiment4 is the fourth set (Table 4, Figure 4): total time (local
+// evaluations per node) to reach quality 1e−10, as network size n = 2^i
+// and swarm size k vary. Griewank is expected to be censored (the paper
+// reports no value for it).
+func Experiment4(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	ns := s.Ns
+	ks := s.Ks
+	if ns == nil {
+		if quick {
+			ns = pow2s(0, 6)
+		} else {
+			ns = pow2s(0, 10)
+		}
+	}
+	if ks == nil {
+		ks = []int{1, 4, 8, 16}
+	}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, n := range ns {
+			for _, k := range ks {
+				cells = append(cells, Cell{
+					Function: f, N: n, K: k, R: k,
+					Threshold: s.Threshold,
+					MaxEvals:  s.MaxEvals,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// AblationNoGossip compares the full coordination service against fully
+// independent swarms (r = ∞) on the Experiment-1 grid: the paper's
+// "without coordination: exploiting stochasticity" extreme.
+func AblationNoGossip(s Spec, quick bool) []Cell {
+	base := Experiment1(s, quick)
+	var cells []Cell
+	for _, c := range base {
+		on := c
+		on.Tag = "gossip"
+		off := c
+		off.NoCoordination = true
+		cells = append(cells, on, off)
+	}
+	return cells
+}
+
+// AblationTopology sweeps the topology service: Newscast vs static random
+// graph vs ring vs star, at fixed n, k, r.
+func AblationTopology(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	n := 256
+	if quick {
+		n = 64
+	}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, topo := range []core.TopologyKind{core.TopoNewscast, core.TopoRandom, core.TopoRing, core.TopoStar} {
+			cells = append(cells, Cell{
+				Function: f, N: n, K: 16, R: 16,
+				Budget:    int64(n) * s.BudgetPerNode,
+				Threshold: -1,
+				Topology:  topo,
+				Tag:       "topo=" + topo.String(),
+			})
+		}
+	}
+	return cells
+}
+
+// AblationChurn sweeps a one-shot catastrophe killing a fraction of the
+// network mid-run (§3.3.4's robustness claim).
+func AblationChurn(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	n := 256
+	if quick {
+		n = 64
+	}
+	fractions := []float64{0, 0.25, 0.5, 0.75}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, frac := range fractions {
+			frac := frac
+			c := Cell{
+				Function: f, N: n, K: 16, R: 16,
+				Budget:    int64(n) * s.BudgetPerNode,
+				Threshold: -1,
+				Tag:       fmt.Sprintf("crash=%.2f", frac),
+			}
+			if frac > 0 {
+				c.Churn = func() sim.ChurnModel {
+					return &sim.CatastropheChurn{AtCycle: int64(s.BudgetPerNode / 4), Fraction: frac}
+				}
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// AblationMixedSolvers compares homogeneous PSO against heterogeneous
+// node populations (PSO + DE + ES round-robin) and homogeneous DE/ES —
+// the paper's future-work "module diversification among peers".
+func AblationMixedSolvers(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	n := 128
+	if quick {
+		n = 32
+	}
+	k := 16
+	variants := []struct {
+		tag string
+		mk  func() solver.Factory
+	}{
+		{"solver=pso", nil}, // nil keeps the default PSO factory
+		{"solver=de", func() solver.Factory {
+			return func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+				return solver.NewDE(f, dim, k, r)
+			}
+		}},
+		{"solver=es", func() solver.Factory {
+			return func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+				return solver.NewES(f, dim, r)
+			}
+		}},
+		{"solver=mixed", func() solver.Factory {
+			return core.MixedFactory(
+				func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+					return pso.New(f, dim, k, pso.Config{}, r)
+				},
+				func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+					return solver.NewDE(f, dim, k, r)
+				},
+				func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+					return solver.NewES(f, dim, r)
+				},
+			)
+		}},
+	}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, v := range variants {
+			cells = append(cells, Cell{
+				Function: f, N: n, K: k, R: k,
+				Budget:    int64(n) * s.BudgetPerNode,
+				Threshold: -1,
+				Solvers:   v.mk,
+				Tag:       v.tag,
+			})
+		}
+	}
+	return cells
+}
+
+// AblationMessageLoss sweeps coordination message loss probabilities.
+func AblationMessageLoss(s Spec, quick bool) []Cell {
+	s = s.withDefaults()
+	n := 128
+	if quick {
+		n = 32
+	}
+	var cells []Cell
+	for _, f := range s.Funcs {
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9} {
+			cells = append(cells, Cell{
+				Function: f, N: n, K: 16, R: 16,
+				Budget:    int64(n) * s.BudgetPerNode,
+				Threshold: -1,
+				DropProb:  p,
+				Tag:       fmt.Sprintf("loss=%.2f", p),
+			})
+		}
+	}
+	return cells
+}

@@ -1,0 +1,126 @@
+package funcs
+
+import (
+	"math"
+	"testing"
+
+	"gossipopt/internal/rng"
+)
+
+func TestShiftedMovesOptimum(t *testing.T) {
+	at := make([]float64, 10)
+	for i := range at {
+		at[i] = float64(i) - 4.5
+	}
+	sh, err := Shifted(Rastrigin, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Eval(at); math.Abs(got) > 1e-9 {
+		t.Fatalf("f(new optimum) = %g", got)
+	}
+	opt := sh.OptimumAt(10)
+	for i := range opt {
+		if opt[i] != at[i] {
+			t.Fatalf("OptimumAt = %v", opt)
+		}
+	}
+	// The origin is no longer optimal.
+	if sh.Eval(make([]float64, 10)) < 1 {
+		t.Fatal("origin still near-optimal after shift")
+	}
+}
+
+func TestShiftedPreservesValuesUpToTranslation(t *testing.T) {
+	at := []float64{1, -2, 3, 0, 1, -1, 2, 0.5, -0.5, 1.5}
+	sh, err := Shifted(Sphere, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		x := make([]float64, 10)
+		for j := range x {
+			x[j] = r.UniformIn(-5, 5)
+		}
+		moved := make([]float64, 10)
+		for j := range x {
+			moved[j] = x[j] + at[j]
+		}
+		if d := math.Abs(sh.Eval(moved) - Sphere.Eval(x)); d > 1e-9 {
+			t.Fatalf("translation broken: delta %g", d)
+		}
+	}
+}
+
+func TestShiftedRejectsBadInput(t *testing.T) {
+	if _, err := Shifted(F2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("dimension mismatch accepted (F2 is fixed 2-D)")
+	}
+	out := make([]float64, 10)
+	out[0] = 1e9
+	if _, err := Shifted(Sphere, out); err == nil {
+		t.Fatal("out-of-domain shift accepted")
+	}
+}
+
+func TestShiftedDimFromPoint(t *testing.T) {
+	// Sphere has no FixedDim; a 2-D shift point pins the result to 2-D.
+	sh, err := Shifted(Sphere, []float64{1, 2})
+	if err == nil {
+		if sh.Dim(0) != 2 {
+			t.Fatalf("dim = %d", sh.Dim(0))
+		}
+	}
+}
+
+func TestRandomShiftSolvableByPSO(t *testing.T) {
+	r := rng.New(2)
+	sh := RandomShift(Sphere, 10, r)
+	opt := sh.OptimumAt(10)
+	if got := sh.Eval(opt); math.Abs(got) > 1e-9 {
+		t.Fatalf("f(optimum) = %g", got)
+	}
+	for _, xi := range opt {
+		if xi < sh.Lo || xi > sh.Hi {
+			t.Fatalf("optimum coordinate %g outside domain", xi)
+		}
+	}
+}
+
+func TestNoisyMeanIsTrueValue(t *testing.T) {
+	r := rng.New(3)
+	nf := Noisy(Sphere, 0.5, r)
+	x := []float64{1, 2, 0, 0, 0, 0, 0, 0, 0, 0}
+	truth := Sphere.Eval(x)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += nf.Eval(x)
+	}
+	if mean := sum / n; math.Abs(mean-truth) > 0.02 {
+		t.Fatalf("noisy mean %g, truth %g", mean, truth)
+	}
+}
+
+func TestNoisyZeroSigmaIsExact(t *testing.T) {
+	nf := Noisy(Sphere, 0, rng.New(4))
+	x := []float64{3, 4}
+	if nf.Eval(x) != 25 {
+		t.Fatal("zero-sigma noise changed values")
+	}
+}
+
+func TestWithDim(t *testing.T) {
+	f5 := WithDim(Sphere, 5)
+	if f5.Dim(0) != 5 || f5.Dim(30) != 5 {
+		t.Fatalf("WithDim not pinned: %d", f5.Dim(0))
+	}
+	// F2 already fixed: unchanged.
+	if WithDim(F2, 7).Dim(0) != 2 {
+		t.Fatal("WithDim overrode FixedDim")
+	}
+	if WithDim(Sphere, 0).Dim(0) != 10 {
+		t.Fatal("WithDim(0) should be identity")
+	}
+}

@@ -1,0 +1,169 @@
+package gossip
+
+import (
+	"gossipopt/internal/overlay"
+	"gossipopt/internal/sim"
+)
+
+// Average implements gossip-based averaging aggregation (Jelasity,
+// Montresor & Babaoglu, ACM TOCS 2005): each cycle a node picks a random
+// peer and both replace their values with the pairwise mean. The global sum
+// is invariant while the empirical variance contracts exponentially, so
+// every node's value converges to the network-wide average. The paper cites
+// this protocol as a canonical application of peer sampling; it is also
+// independently useful for estimating network size (push one 1.0 and
+// average: the mean tends to 1/n).
+type Average struct {
+	// Slot is the protocol slot of the node's PeerSampler.
+	Slot int
+	// SelfSlot is the protocol slot where Average instances live.
+	SelfSlot int
+
+	value float64
+
+	// Exchanges counts initiated pairwise averaging steps.
+	Exchanges int64
+}
+
+// Value returns the node's current estimate.
+func (a *Average) Value() float64 { return a.value }
+
+// SetValue initializes the node's local value.
+func (a *Average) SetValue(v float64) { a.value = v }
+
+// NextCycle implements sim.Protocol: one pairwise averaging exchange.
+func (a *Average) NextCycle(n *sim.Node, e *sim.Engine) {
+	sampler, ok := n.Protocol(a.Slot).(overlay.PeerSampler)
+	if !ok {
+		return
+	}
+	peerID, ok := sampler.SamplePeer(n.RNG)
+	if !ok {
+		return
+	}
+	peer := e.Node(peerID)
+	if peer == nil || !peer.Alive {
+		return
+	}
+	remote, ok := peer.Protocol(a.SelfSlot).(*Average)
+	if !ok {
+		return
+	}
+	mean := (a.value + remote.value) / 2
+	a.value = mean
+	remote.value = mean
+	a.Exchanges++
+}
+
+// Aggregate generalizes pairwise gossip aggregation to any commutative,
+// associative, idempotent-converging combiner: both parties replace their
+// values with Combine(a, b). With Combine = min or max every node
+// converges to the global extremum in O(log n) cycles; with the
+// mean combiner this degenerates to Average (kept separate because the
+// mean combiner must update both sides with the same value, which
+// Aggregate also guarantees).
+type Aggregate struct {
+	// Slot is the protocol slot of the node's PeerSampler. SelfSlot is
+	// where Aggregate instances live. Combine merges two values.
+	Slot     int
+	SelfSlot int
+	Combine  func(a, b float64) float64
+
+	value float64
+
+	// Exchanges counts initiated pairwise steps.
+	Exchanges int64
+}
+
+// Value returns the node's current estimate.
+func (a *Aggregate) Value() float64 { return a.value }
+
+// SetValue initializes the node's local value.
+func (a *Aggregate) SetValue(v float64) { a.value = v }
+
+// NextCycle implements sim.Protocol.
+func (a *Aggregate) NextCycle(n *sim.Node, e *sim.Engine) {
+	sampler, ok := n.Protocol(a.Slot).(overlay.PeerSampler)
+	if !ok {
+		return
+	}
+	peerID, ok := sampler.SamplePeer(n.RNG)
+	if !ok {
+		return
+	}
+	peer := e.Node(peerID)
+	if peer == nil || !peer.Alive {
+		return
+	}
+	remote, ok := peer.Protocol(a.SelfSlot).(*Aggregate)
+	if !ok {
+		return
+	}
+	combined := a.Combine(a.value, remote.value)
+	a.value = combined
+	remote.value = combined
+	a.Exchanges++
+}
+
+// MinCombine and MaxCombine are the extremum combiners.
+func MinCombine(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxCombine returns the larger of a and b.
+func MaxCombine(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EstimateSize reads the network-size estimate off an Average instance
+// seeded with a single 1.0 (all other nodes 0): the converged mean is 1/n.
+// It returns 0 if the node's current value is not yet positive.
+func EstimateSize(a *Average) float64 {
+	v := a.Value()
+	if v <= 0 {
+		return 0
+	}
+	return 1 / v
+}
+
+// Sum returns the sum of all live nodes' values (the conserved quantity).
+func Sum(e *sim.Engine, selfSlot int) float64 {
+	var s float64
+	e.ForEachLive(func(n *sim.Node) {
+		if a, ok := n.Protocol(selfSlot).(*Average); ok {
+			s += a.Value()
+		}
+	})
+	return s
+}
+
+// Spread returns max-min of all live nodes' values (convergence measure).
+func Spread(e *sim.Engine, selfSlot int) float64 {
+	first := true
+	var lo, hi float64
+	e.ForEachLive(func(n *sim.Node) {
+		a, ok := n.Protocol(selfSlot).(*Average)
+		if !ok {
+			return
+		}
+		v := a.Value()
+		if first {
+			lo, hi = v, v
+			first = false
+			return
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	})
+	return hi - lo
+}

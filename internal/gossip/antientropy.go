@@ -1,0 +1,139 @@
+// Package gossip implements the epidemic protocols from Demers et al. that
+// the paper builds its coordination service on: anti-entropy exchanges
+// (push, pull, push-pull), rumor mongering with a stop probability, and
+// gossip-based averaging aggregation (Jelasity et al.). All protocols run on
+// the cycle-driven simulator and obtain partners from a PeerSampler
+// (Newscast or a static topology) in a configurable protocol slot.
+package gossip
+
+import (
+	"gossipopt/internal/overlay"
+	"gossipopt/internal/sim"
+)
+
+// Mode selects the anti-entropy exchange direction.
+type Mode int
+
+// Exchange directions, after Demers et al.: the originator pushes its state,
+// pulls the peer's state, or both.
+const (
+	Push Mode = iota
+	Pull
+	PushPull
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "push-pull"
+	}
+	return "unknown"
+}
+
+// AntiEntropy diffuses the "best" value of type T through periodic pairwise
+// exchanges. Better defines a strict partial order; both parties converge to
+// the better of their two values, so the global best is monotone and
+// eventually reaches every live node.
+//
+// This is the paper's coordination service in its general form: with T
+// bound to a (position, fitness) pair and Better comparing fitness it is
+// exactly the global-optimum diffusion algorithm of Section 3.3.3.
+type AntiEntropy[T any] struct {
+	// SamplerSlot is the protocol slot holding the node's PeerSampler.
+	Slot int
+	// SelfSlot is the protocol slot where AntiEntropy instances live.
+	SelfSlot int
+	// Mode selects push, pull or push-pull (the paper uses push-pull).
+	Mode Mode
+	// Better reports whether a is strictly better than b.
+	Better func(a, b T) bool
+	// DropProb, when positive, loses each initiated exchange with this
+	// probability, modelling message loss (paper §3.3.4: lost messages
+	// only slow diffusion down).
+	DropProb float64
+
+	local T
+	has   bool
+
+	// Sent counts initiated exchanges; Updated counts adoptions of a
+	// remote value (on either side).
+	Sent, Updated int64
+}
+
+// Local returns the node's current value and whether one is set.
+func (a *AntiEntropy[T]) Local() (T, bool) { return a.local, a.has }
+
+// SetLocal replaces the node's value unconditionally (initialization).
+func (a *AntiEntropy[T]) SetLocal(v T) {
+	a.local = v
+	a.has = true
+}
+
+// Offer merges a candidate value: it is adopted only if the node has none
+// or the candidate is strictly better. It reports whether adoption
+// happened.
+func (a *AntiEntropy[T]) Offer(v T) bool {
+	if !a.has || a.Better(v, a.local) {
+		a.local = v
+		a.has = true
+		a.Updated++
+		return true
+	}
+	return false
+}
+
+// NextCycle implements sim.Protocol: one anti-entropy exchange with a
+// sampled peer.
+func (a *AntiEntropy[T]) NextCycle(n *sim.Node, e *sim.Engine) {
+	a.Exchange(n, e)
+}
+
+// Exchange performs one exchange immediately (exposed so that other
+// protocols — e.g. the optimizer node — can trigger coordination at their
+// own rate rather than once per cycle).
+func (a *AntiEntropy[T]) Exchange(n *sim.Node, e *sim.Engine) {
+	sampler, ok := n.Protocol(a.Slot).(overlay.PeerSampler)
+	if !ok {
+		return
+	}
+	peerID, ok := sampler.SamplePeer(n.RNG)
+	if !ok {
+		return
+	}
+	a.Sent++
+	if a.DropProb > 0 && n.RNG.Bool(a.DropProb) {
+		return // lost in transit; diffusion merely slows down
+	}
+	peer := e.Node(peerID)
+	if peer == nil || !peer.Alive {
+		return // crashed partner: exchange silently fails
+	}
+	remote, ok := peer.Protocol(a.SelfSlot).(*AntiEntropy[T])
+	if !ok {
+		return
+	}
+	switch a.Mode {
+	case Push:
+		if a.has {
+			remote.Offer(a.local)
+		}
+	case Pull:
+		if remote.has {
+			a.Offer(remote.local)
+		}
+	case PushPull:
+		// p sends its value; q adopts it if better, otherwise q replies
+		// with its own and p adopts. Equivalent to both offering.
+		if a.has {
+			remote.Offer(a.local)
+		}
+		if remote.has {
+			a.Offer(remote.local)
+		}
+	}
+}

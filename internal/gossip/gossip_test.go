@@ -1,0 +1,333 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"gossipopt/internal/overlay"
+	"gossipopt/internal/sim"
+)
+
+// buildNet wires n nodes with Newscast in slot 0 and the protocol built by
+// mk in slot 1.
+func buildNet(seed uint64, n int, mk func(id sim.NodeID) sim.Protocol) *sim.Engine {
+	e := sim.NewEngine(seed)
+	nodes := e.AddNodes(n)
+	overlay.InitNewscast(e, 0, 20)
+	for _, nd := range nodes {
+		nd.Protocols = append(nd.Protocols, mk(nd.ID))
+	}
+	return e
+}
+
+func intBetter(a, b int) bool { return a > b }
+
+func newAE(mode Mode) *AntiEntropy[int] {
+	return &AntiEntropy[int]{Slot: 0, SelfSlot: 1, Mode: mode, Better: intBetter}
+}
+
+func aeAt(e *sim.Engine, id sim.NodeID) *AntiEntropy[int] {
+	return e.Node(id).Protocol(1).(*AntiEntropy[int])
+}
+
+func TestAntiEntropyConvergesPushPull(t *testing.T) {
+	e := buildNet(1, 100, func(id sim.NodeID) sim.Protocol {
+		ae := newAE(PushPull)
+		ae.SetLocal(int(id)) // node 99 holds the best value
+		return ae
+	})
+	e.Run(15) // push-pull spreads in O(log n) cycles
+	e.ForEachLive(func(n *sim.Node) {
+		if v, _ := aeAt(e, n.ID).Local(); v != 99 {
+			t.Fatalf("node %d converged to %d, want 99", n.ID, v)
+		}
+	})
+}
+
+func TestAntiEntropyPushSlowerThanPushPull(t *testing.T) {
+	countConverged := func(mode Mode, cycles int64) int {
+		e := buildNet(2, 200, func(id sim.NodeID) sim.Protocol {
+			ae := newAE(mode)
+			ae.SetLocal(int(id))
+			return ae
+		})
+		e.Run(cycles)
+		n := 0
+		e.ForEachLive(func(nd *sim.Node) {
+			if v, _ := aeAt(e, nd.ID).Local(); v == 199 {
+				n++
+			}
+		})
+		return n
+	}
+	push := countConverged(Push, 6)
+	pushpull := countConverged(PushPull, 6)
+	if pushpull < push {
+		t.Fatalf("push-pull (%d) slower than push (%d)", pushpull, push)
+	}
+}
+
+// Property: a node's local value is monotone non-decreasing under Better.
+func TestAntiEntropyMonotone(t *testing.T) {
+	e := buildNet(3, 60, func(id sim.NodeID) sim.Protocol {
+		ae := newAE(PushPull)
+		ae.SetLocal(int(id))
+		return ae
+	})
+	prev := make(map[sim.NodeID]int)
+	e.ForEachLive(func(n *sim.Node) {
+		v, _ := aeAt(e, n.ID).Local()
+		prev[n.ID] = v
+	})
+	for c := 0; c < 20; c++ {
+		e.RunCycle()
+		e.ForEachLive(func(n *sim.Node) {
+			v, _ := aeAt(e, n.ID).Local()
+			if v < prev[n.ID] {
+				t.Fatalf("node %d value regressed %d -> %d", n.ID, prev[n.ID], v)
+			}
+			prev[n.ID] = v
+		})
+	}
+}
+
+func TestAntiEntropySurvivesDrops(t *testing.T) {
+	e := buildNet(4, 100, func(id sim.NodeID) sim.Protocol {
+		ae := newAE(PushPull)
+		ae.DropProb = 0.5
+		ae.SetLocal(int(id))
+		return ae
+	})
+	e.Run(40) // drops only slow diffusion down
+	e.ForEachLive(func(n *sim.Node) {
+		if v, _ := aeAt(e, n.ID).Local(); v != 99 {
+			t.Fatalf("node %d stuck at %d despite 40 cycles", n.ID, v)
+		}
+	})
+}
+
+func TestAntiEntropySurvivesChurn(t *testing.T) {
+	e := buildNet(5, 150, func(id sim.NodeID) sim.Protocol {
+		ae := newAE(PushPull)
+		ae.SetLocal(int(id))
+		return ae
+	})
+	// Note: the best value (149) may crash; best surviving value must still
+	// dominate. Crash 30 % after a few cycles.
+	e.Run(3)
+	e.SetChurn(&sim.CatastropheChurn{AtCycle: 3, Fraction: 0.3})
+	e.Run(30)
+	best := -1
+	e.ForEachLive(func(n *sim.Node) {
+		if v, _ := aeAt(e, n.ID).Local(); v > best {
+			best = v
+		}
+	})
+	e.ForEachLive(func(n *sim.Node) {
+		if v, _ := aeAt(e, n.ID).Local(); v != best {
+			t.Fatalf("node %d at %d, best is %d", n.ID, v, best)
+		}
+	})
+}
+
+func TestOfferSemantics(t *testing.T) {
+	ae := newAE(PushPull)
+	if _, has := ae.Local(); has {
+		t.Fatal("fresh AE claims a value")
+	}
+	if !ae.Offer(5) {
+		t.Fatal("first Offer rejected")
+	}
+	if ae.Offer(3) {
+		t.Fatal("worse value adopted")
+	}
+	if !ae.Offer(9) {
+		t.Fatal("better value rejected")
+	}
+	if v, _ := ae.Local(); v != 9 {
+		t.Fatalf("Local = %d", v)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Push.String() != "push" || Pull.String() != "pull" || PushPull.String() != "push-pull" {
+		t.Fatal("Mode.String wrong")
+	}
+	if Mode(42).String() != "unknown" {
+		t.Fatal("unknown mode string")
+	}
+}
+
+func TestRumorReachesAll(t *testing.T) {
+	e := buildNet(6, 200, func(id sim.NodeID) sim.Protocol {
+		return &Rumor{Slot: 0, SelfSlot: 1, Fanout: 2, StopProb: 0.2}
+	})
+	e.Node(0).Protocol(1).(*Rumor).Seed()
+	e.Run(20)
+	if got := CountInformed(e, 1); got < 190 {
+		t.Fatalf("only %d of 200 informed", got)
+	}
+}
+
+func TestRumorStopProbOneDiesOut(t *testing.T) {
+	// With StopProb = 1 every redundant contact kills the spreader; the
+	// rumor should reach far fewer nodes than with StopProb = 0.1.
+	spread := func(p float64) int {
+		e := buildNet(7, 300, func(id sim.NodeID) sim.Protocol {
+			return &Rumor{Slot: 0, SelfSlot: 1, Fanout: 1, StopProb: p}
+		})
+		e.Node(0).Protocol(1).(*Rumor).Seed()
+		e.Run(60)
+		return CountInformed(e, 1)
+	}
+	high := spread(1.0)
+	low := spread(0.05)
+	if high >= low {
+		t.Fatalf("stop-prob trade-off inverted: p=1 reached %d, p=0.05 reached %d", high, low)
+	}
+}
+
+func TestRumorRedundantCounted(t *testing.T) {
+	e := buildNet(8, 50, func(id sim.NodeID) sim.Protocol {
+		return &Rumor{Slot: 0, SelfSlot: 1, Fanout: 3, StopProb: 0.1}
+	})
+	e.Node(0).Protocol(1).(*Rumor).Seed()
+	e.Run(30)
+	var redundant int64
+	e.ForEachLive(func(n *sim.Node) {
+		redundant += n.Protocol(1).(*Rumor).Redundant
+	})
+	if redundant == 0 {
+		t.Fatal("no redundant deliveries in a saturated network")
+	}
+}
+
+func TestAverageConservesSumAndConverges(t *testing.T) {
+	e := buildNet(9, 128, func(id sim.NodeID) sim.Protocol {
+		a := &Average{Slot: 0, SelfSlot: 1}
+		a.SetValue(float64(id))
+		return a
+	})
+	want := Sum(e, 1)
+	for c := 0; c < 40; c++ {
+		e.RunCycle()
+		if got := Sum(e, 1); math.Abs(got-want) > 1e-6*math.Abs(want) {
+			t.Fatalf("sum drifted: %v -> %v at cycle %d", want, got, c)
+		}
+	}
+	if s := Spread(e, 1); s > 1e-3 {
+		t.Fatalf("spread %v after 40 cycles, want ~0", s)
+	}
+	// Every node's value must equal the true average.
+	trueAvg := want / 128
+	e.ForEachLive(func(n *sim.Node) {
+		v := n.Protocol(1).(*Average).Value()
+		if math.Abs(v-trueAvg) > 1e-3 {
+			t.Fatalf("node %d at %v, want %v", n.ID, v, trueAvg)
+		}
+	})
+}
+
+func TestAverageSizeEstimation(t *testing.T) {
+	// Classic trick: one node holds 1.0, the rest 0; the average is 1/n.
+	const n = 64
+	e := buildNet(10, n, func(id sim.NodeID) sim.Protocol {
+		a := &Average{Slot: 0, SelfSlot: 1}
+		if id == 0 {
+			a.SetValue(1)
+		}
+		return a
+	})
+	e.Run(50)
+	est := 1 / e.Node(3).Protocol(1).(*Average).Value()
+	if est < n*0.9 || est > n*1.1 {
+		t.Fatalf("size estimate %.1f, want ≈ %d", est, n)
+	}
+}
+
+func TestAverageSpreadDecreasesMonotonically(t *testing.T) {
+	e := buildNet(11, 100, func(id sim.NodeID) sim.Protocol {
+		a := &Average{Slot: 0, SelfSlot: 1}
+		a.SetValue(float64(id * id))
+		return a
+	})
+	prev := Spread(e, 1)
+	for c := 0; c < 30; c++ {
+		e.RunCycle()
+		cur := Spread(e, 1)
+		if cur > prev+1e-9 {
+			t.Fatalf("spread grew at cycle %d: %v -> %v", c, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestAggregateMinConverges(t *testing.T) {
+	e := buildNet(12, 100, func(id sim.NodeID) sim.Protocol {
+		a := &Aggregate{Slot: 0, SelfSlot: 1, Combine: MinCombine}
+		a.SetValue(float64(id) + 5)
+		return a
+	})
+	e.Run(15)
+	e.ForEachLive(func(n *sim.Node) {
+		if v := n.Protocol(1).(*Aggregate).Value(); v != 5 {
+			t.Fatalf("node %d min = %v, want 5", n.ID, v)
+		}
+	})
+}
+
+func TestAggregateMaxConverges(t *testing.T) {
+	e := buildNet(13, 80, func(id sim.NodeID) sim.Protocol {
+		a := &Aggregate{Slot: 0, SelfSlot: 1, Combine: MaxCombine}
+		a.SetValue(float64(id))
+		return a
+	})
+	e.Run(15)
+	e.ForEachLive(func(n *sim.Node) {
+		if v := n.Protocol(1).(*Aggregate).Value(); v != 79 {
+			t.Fatalf("node %d max = %v, want 79", n.ID, v)
+		}
+	})
+}
+
+func TestAggregateMinMonotone(t *testing.T) {
+	e := buildNet(14, 40, func(id sim.NodeID) sim.Protocol {
+		a := &Aggregate{Slot: 0, SelfSlot: 1, Combine: MinCombine}
+		a.SetValue(float64(id * 3))
+		return a
+	})
+	prev := map[sim.NodeID]float64{}
+	e.ForEachLive(func(n *sim.Node) {
+		prev[n.ID] = n.Protocol(1).(*Aggregate).Value()
+	})
+	for c := 0; c < 10; c++ {
+		e.RunCycle()
+		e.ForEachLive(func(n *sim.Node) {
+			v := n.Protocol(1).(*Aggregate).Value()
+			if v > prev[n.ID] {
+				t.Fatalf("min aggregate increased at node %d", n.ID)
+			}
+			prev[n.ID] = v
+		})
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	const n = 100
+	e := buildNet(15, n, func(id sim.NodeID) sim.Protocol {
+		a := &Average{Slot: 0, SelfSlot: 1}
+		if id == 7 {
+			a.SetValue(1)
+		}
+		return a
+	})
+	e.Run(60)
+	est := EstimateSize(e.Node(42).Protocol(1).(*Average))
+	if est < n*0.9 || est > n*1.1 {
+		t.Fatalf("size estimate %.1f, want ≈ %d", est, n)
+	}
+	fresh := &Average{}
+	if EstimateSize(fresh) != 0 {
+		t.Fatal("estimate from zero value should be 0")
+	}
+}

@@ -1,0 +1,97 @@
+package gossip
+
+import (
+	"gossipopt/internal/overlay"
+	"gossipopt/internal/sim"
+)
+
+// Rumor implements rumor mongering (Demers et al.): when a node first
+// receives an update it becomes a *hot* spreader; each cycle a hot node
+// forwards the rumor to Fanout sampled peers; every time it contacts a peer
+// that already knows the rumor it loses interest (stops spreading) with
+// probability StopProb. Fanout and StopProb trade dissemination probability
+// against redundant traffic, exactly the k/p trade-off the paper describes.
+type Rumor struct {
+	// Slot is the protocol slot of the node's PeerSampler.
+	Slot int
+	// SelfSlot is the protocol slot where Rumor instances live.
+	SelfSlot int
+	// Fanout is the number of peers contacted per cycle while hot.
+	Fanout int
+	// StopProb is the probability of losing interest after contacting an
+	// already-informed peer.
+	StopProb float64
+
+	informed bool
+	hot      bool
+
+	// Sent counts rumor messages sent; Redundant counts deliveries to
+	// already-informed peers.
+	Sent, Redundant int64
+}
+
+// Informed reports whether the node has received the rumor.
+func (r *Rumor) Informed() bool { return r.informed }
+
+// Hot reports whether the node is still actively spreading.
+func (r *Rumor) Hot() bool { return r.hot }
+
+// Seed marks this node as the rumor's origin.
+func (r *Rumor) Seed() {
+	r.informed = true
+	r.hot = true
+}
+
+// receive handles an incoming rumor; it reports whether it was new.
+func (r *Rumor) receive() bool {
+	if r.informed {
+		r.Redundant++
+		return false
+	}
+	r.informed = true
+	r.hot = true
+	return true
+}
+
+// NextCycle implements sim.Protocol.
+func (r *Rumor) NextCycle(n *sim.Node, e *sim.Engine) {
+	if !r.hot {
+		return
+	}
+	sampler, ok := n.Protocol(r.Slot).(overlay.PeerSampler)
+	if !ok {
+		return
+	}
+	for i := 0; i < r.Fanout && r.hot; i++ {
+		peerID, ok := sampler.SamplePeer(n.RNG)
+		if !ok {
+			return
+		}
+		peer := e.Node(peerID)
+		if peer == nil || !peer.Alive {
+			continue
+		}
+		remote, ok := peer.Protocol(r.SelfSlot).(*Rumor)
+		if !ok {
+			continue
+		}
+		r.Sent++
+		if !remote.receive() {
+			// Contacted an informed peer: lose interest with prob p.
+			if n.RNG.Bool(r.StopProb) {
+				r.hot = false
+			}
+		}
+	}
+}
+
+// CountInformed returns how many live nodes know the rumor.
+func CountInformed(e *sim.Engine, selfSlot int) int {
+	count := 0
+	e.ForEachLive(func(n *sim.Node) {
+		if r, ok := n.Protocol(selfSlot).(*Rumor); ok && r.Informed() {
+			count++
+		}
+	})
+	return count
+}

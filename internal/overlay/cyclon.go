@@ -1,0 +1,168 @@
+package overlay
+
+import (
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+)
+
+// Cyclon is the other canonical peer-sampling protocol (Voulgaris, Gavidia
+// & van Steen 2005), included as an alternative topology service. Unlike
+// Newscast's full-view push-pull, Cyclon *swaps* a small shuffle subset:
+// the initiator selects its oldest neighbor, sends L random descriptors
+// (including a fresh self-descriptor), and receives L of the peer's in
+// exchange; each side replaces exactly the entries it sent away. Swapping
+// preserves in-degree much more tightly than Newscast's merge, at the cost
+// of slower dissemination of fresh descriptors.
+type Cyclon struct {
+	// C is the view size; L is the shuffle length (L <= C, default C/2).
+	C, L int
+	// Slot is the protocol slot where Cyclon instances live on all nodes.
+	Slot int
+
+	self sim.NodeID
+	view *View
+
+	// Exchanges counts initiated shuffles; FailedExchanges counts
+	// shuffles aimed at crashed peers.
+	Exchanges, FailedExchanges int64
+}
+
+// NewCyclon creates the Cyclon instance for the given node.
+func NewCyclon(self sim.NodeID, c, l, slot int) *Cyclon {
+	if l <= 0 || l > c {
+		l = c / 2
+		if l == 0 {
+			l = 1
+		}
+	}
+	return &Cyclon{C: c, L: l, Slot: slot, self: self, view: NewView(c)}
+}
+
+// View exposes the current view.
+func (cy *Cyclon) View() *View { return cy.view }
+
+// SamplePeer implements PeerSampler.
+func (cy *Cyclon) SamplePeer(r *rng.RNG) (sim.NodeID, bool) {
+	ids := cy.view.IDs()
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[r.Intn(len(ids))], true
+}
+
+// Neighbors implements PeerSampler.
+func (cy *Cyclon) Neighbors() []sim.NodeID { return cy.view.IDs() }
+
+// Bootstrap seeds the view.
+func (cy *Cyclon) Bootstrap(peers []sim.NodeID) {
+	batch := make([]Descriptor, 0, len(peers))
+	for _, id := range peers {
+		batch = append(batch, Descriptor{ID: id, Stamp: 0})
+	}
+	cy.view.Merge(cy.self, batch)
+}
+
+// oldest returns the stalest descriptor in the view (Cyclon always
+// shuffles with its oldest neighbor, which is what ages out dead nodes).
+func (cy *Cyclon) oldest() (Descriptor, bool) {
+	ds := cy.view.Descriptors()
+	if len(ds) == 0 {
+		return Descriptor{}, false
+	}
+	old := ds[0]
+	for _, d := range ds[1:] {
+		if d.Stamp < old.Stamp {
+			old = d
+		}
+	}
+	return old, true
+}
+
+// subset picks up to l random descriptors from ds, excluding the one with
+// peer's ID (it is replaced by the fresh self-descriptor).
+func subset(r *rng.RNG, ds []Descriptor, l int, exclude sim.NodeID) []Descriptor {
+	var pool []Descriptor
+	for _, d := range ds {
+		if d.ID != exclude {
+			pool = append(pool, d)
+		}
+	}
+	if len(pool) <= l {
+		return pool
+	}
+	out := make([]Descriptor, 0, l)
+	for _, i := range r.Sample(len(pool), l) {
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+// NextCycle implements sim.Protocol: one Cyclon shuffle with the oldest
+// neighbor.
+func (cy *Cyclon) NextCycle(n *sim.Node, e *sim.Engine) {
+	target, ok := cy.oldest()
+	if !ok {
+		return
+	}
+	cy.Exchanges++
+	peer := e.Node(target.ID)
+	if peer == nil || !peer.Alive {
+		cy.FailedExchanges++
+		cy.view.Remove(target.ID)
+		return
+	}
+	remote, ok := peer.Protocol(cy.Slot).(*Cyclon)
+	if !ok {
+		return
+	}
+	now := e.Cycle()
+
+	// Initiator sends L-1 random descriptors plus a fresh self-descriptor.
+	sent := subset(n.RNG, cy.view.Descriptors(), cy.L-1, target.ID)
+	sent = append(sent, Descriptor{ID: cy.self, Stamp: now})
+	// The peer answers with L of its own (never including the initiator).
+	reply := subset(peer.RNG, remote.view.Descriptors(), cy.L, cy.self)
+
+	// Each side discards what it sent and merges what it received. The
+	// initiator also discards the target's entry (replaced by the reply).
+	cy.view.Remove(target.ID)
+	for _, d := range sent {
+		if d.ID != cy.self {
+			cy.view.Remove(d.ID)
+		}
+	}
+	cy.view.Merge(cy.self, reply)
+
+	for _, d := range reply {
+		remote.view.Remove(d.ID)
+	}
+	remote.view.Merge(remote.self, sent)
+}
+
+// InitCyclon wires Cyclon into protocol slot `slot` of every live node,
+// bootstrapping with up to c random peers.
+func InitCyclon(e *sim.Engine, slot, c, l int) {
+	nodes := e.LiveNodes()
+	ids := make([]sim.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	for _, n := range nodes {
+		cy := NewCyclon(n.ID, c, l, slot)
+		k := c
+		if k > len(ids)-1 {
+			k = len(ids) - 1
+		}
+		peers := make([]sim.NodeID, 0, k)
+		for _, idx := range e.RNG().Sample(len(ids), k+1) {
+			if ids[idx] != n.ID && len(peers) < k {
+				peers = append(peers, ids[idx])
+			}
+		}
+		cy.Bootstrap(peers)
+		for len(n.Protocols) <= slot {
+			n.Protocols = append(n.Protocols, nil)
+		}
+		n.Protocols[slot] = cy
+	}
+}

@@ -1,0 +1,209 @@
+package overlay
+
+import (
+	"gossipopt/internal/sim"
+	"gossipopt/internal/stats"
+)
+
+// Graph analysis over the live overlay, used to validate the topology
+// service: Newscast must keep the overlay connected with random-graph-like
+// statistics (short paths, low clustering) even under churn.
+
+// Snapshot captures the directed overlay induced by the PeerSampler in the
+// given protocol slot across all live nodes.
+func Snapshot(e *sim.Engine, slot int) map[sim.NodeID][]sim.NodeID {
+	g := make(map[sim.NodeID][]sim.NodeID)
+	e.ForEachLive(func(n *sim.Node) {
+		ps, ok := n.Protocol(slot).(PeerSampler)
+		if !ok {
+			return
+		}
+		// Keep only live targets: dead descriptors are overlay pollution
+		// and are exactly what connectivity analysis must see through.
+		var live []sim.NodeID
+		for _, id := range ps.Neighbors() {
+			if t := e.Node(id); t != nil && t.Alive {
+				live = append(live, id)
+			}
+		}
+		g[n.ID] = live
+	})
+	return g
+}
+
+// Undirect returns the undirected version of g (union of both directions).
+func Undirect(g map[sim.NodeID][]sim.NodeID) map[sim.NodeID][]sim.NodeID {
+	u := make(map[sim.NodeID][]sim.NodeID, len(g))
+	seen := make(map[[2]sim.NodeID]bool)
+	addEdge := func(a, b sim.NodeID) {
+		if a == b {
+			return
+		}
+		key := [2]sim.NodeID{a, b}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		u[a] = append(u[a], b)
+		u[b] = append(u[b], a)
+	}
+	for a := range g {
+		if _, ok := u[a]; !ok {
+			u[a] = nil
+		}
+	}
+	for a, nbrs := range g {
+		for _, b := range nbrs {
+			if _, ok := g[b]; !ok {
+				continue // edge to a node outside the snapshot
+			}
+			addEdge(a, b)
+		}
+	}
+	return u
+}
+
+// ConnectedComponents returns the sizes of the connected components of the
+// undirected version of g, largest first.
+func ConnectedComponents(g map[sim.NodeID][]sim.NodeID) []int {
+	u := Undirect(g)
+	visited := make(map[sim.NodeID]bool, len(u))
+	var sizes []int
+	for start := range u {
+		if visited[start] {
+			continue
+		}
+		size := 0
+		queue := []sim.NodeID{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			size++
+			for _, nb := range u[cur] {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	// Largest first (insertion sort; component counts are tiny).
+	for i := 1; i < len(sizes); i++ {
+		for j := i; j > 0 && sizes[j] > sizes[j-1]; j-- {
+			sizes[j], sizes[j-1] = sizes[j-1], sizes[j]
+		}
+	}
+	return sizes
+}
+
+// IsConnected reports whether the undirected overlay is a single component.
+func IsConnected(g map[sim.NodeID][]sim.NodeID) bool {
+	cc := ConnectedComponents(g)
+	return len(cc) == 1 || (len(cc) == 0)
+}
+
+// DegreeStats summarizes the in-degree distribution of g. Under Newscast the
+// out-degree is fixed at C while the in-degree concentrates around C; a
+// heavy in-degree tail would indicate view-shuffling bias.
+func DegreeStats(g map[sim.NodeID][]sim.NodeID) (in, out stats.Summary) {
+	inDeg := make(map[sim.NodeID]int, len(g))
+	var outs, ins []float64
+	for _, nbrs := range g {
+		outs = append(outs, float64(len(nbrs)))
+		for _, b := range nbrs {
+			inDeg[b]++
+		}
+	}
+	for id := range g {
+		ins = append(ins, float64(inDeg[id]))
+	}
+	return stats.Summarize(ins), stats.Summarize(outs)
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient of
+// the undirected overlay — near C/n for a random graph, near 3/4 for a
+// ring lattice.
+func ClusteringCoefficient(g map[sim.NodeID][]sim.NodeID) float64 {
+	u := Undirect(g)
+	adj := make(map[sim.NodeID]map[sim.NodeID]bool, len(u))
+	for a, nbrs := range u {
+		m := make(map[sim.NodeID]bool, len(nbrs))
+		for _, b := range nbrs {
+			m[b] = true
+		}
+		adj[a] = m
+	}
+	var total float64
+	var counted int
+	for _, nbrs := range u {
+		k := len(nbrs)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if adj[nbrs[i]][nbrs[j]] {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(k*(k-1))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// AvgPathLength estimates the mean shortest-path length of the undirected
+// overlay by BFS from up to samples sources (all sources if samples <= 0).
+// Unreachable pairs are skipped; ok is false if no finite path was found.
+func AvgPathLength(g map[sim.NodeID][]sim.NodeID, samples int) (avg float64, ok bool) {
+	u := Undirect(g)
+	var sources []sim.NodeID
+	for id := range u {
+		sources = append(sources, id)
+	}
+	// Deterministic order for reproducibility.
+	for i := 1; i < len(sources); i++ {
+		for j := i; j > 0 && sources[j] < sources[j-1]; j-- {
+			sources[j], sources[j-1] = sources[j-1], sources[j]
+		}
+	}
+	if samples > 0 && samples < len(sources) {
+		sources = sources[:samples]
+	}
+	var sum float64
+	var count int64
+	for _, src := range sources {
+		dist := map[sim.NodeID]int{src: 0}
+		queue := []sim.NodeID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range u[cur] {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = dist[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for id, d := range dist {
+			if id != src {
+				sum += float64(d)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return sum / float64(count), true
+}

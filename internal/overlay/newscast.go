@@ -1,0 +1,137 @@
+package overlay
+
+import (
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+)
+
+// PeerSampler is the interface the coordination layer uses to obtain gossip
+// partners: the peer-sampling service of Jelasity et al. Implementations
+// include Newscast (dynamic, self-repairing) and the static topologies in
+// static.go.
+type PeerSampler interface {
+	// SamplePeer returns a (hopefully live) peer drawn from the node's
+	// current view. ok is false when the view is empty.
+	SamplePeer(r *rng.RNG) (id sim.NodeID, ok bool)
+	// Neighbors returns the node's current out-links (for graph analysis).
+	Neighbors() []sim.NodeID
+}
+
+// Newscast is the paper's topology service. Each node maintains a view of C
+// descriptors; once per cycle it (i) picks a random peer from its view,
+// (ii) refreshes its own descriptor with the current logical time, and
+// (iii) performs a symmetric view exchange: both sides merge the union of
+// the two views plus both fresh self-descriptors, keeping the C freshest.
+//
+// The periodic exchange continuously shuffles views (≈ random graph with
+// out-degree C), keeps the overlay strongly connected (C = 20 is already
+// very robust per the Newscast literature) and self-heals: crashed nodes
+// stop injecting fresh descriptors, so their stale entries age out.
+type Newscast struct {
+	// C is the view size (paper/literature default 20).
+	C int
+	// Slot is the protocol slot index where Newscast instances live on
+	// every node, so a node can address its partner's instance.
+	Slot int
+
+	self sim.NodeID
+	view *View
+
+	// Exchanges counts initiated view exchanges (metrics).
+	Exchanges int64
+	// FailedExchanges counts exchanges aimed at crashed peers.
+	FailedExchanges int64
+}
+
+// NewNewscast creates the Newscast instance for the given node.
+func NewNewscast(self sim.NodeID, c, slot int) *Newscast {
+	return &Newscast{C: c, Slot: slot, self: self, view: NewView(c)}
+}
+
+// View exposes the node's current view (read-mostly; used by tests and
+// graph analysis).
+func (nc *Newscast) View() *View { return nc.view }
+
+// SamplePeer implements PeerSampler by uniform choice over the view.
+func (nc *Newscast) SamplePeer(r *rng.RNG) (sim.NodeID, bool) {
+	if nc.view.Len() == 0 {
+		return 0, false
+	}
+	ids := nc.view.IDs()
+	return ids[r.Intn(len(ids))], true
+}
+
+// Neighbors implements PeerSampler.
+func (nc *Newscast) Neighbors() []sim.NodeID { return nc.view.IDs() }
+
+// Bootstrap seeds the view with the given peers at logical time 0.
+func (nc *Newscast) Bootstrap(peers []sim.NodeID) {
+	batch := make([]Descriptor, 0, len(peers))
+	for _, id := range peers {
+		batch = append(batch, Descriptor{ID: id, Stamp: 0})
+	}
+	nc.view.Merge(nc.self, batch)
+}
+
+// NextCycle implements sim.Protocol: one Newscast exchange.
+func (nc *Newscast) NextCycle(n *sim.Node, e *sim.Engine) {
+	peerID, ok := nc.SamplePeer(n.RNG)
+	if !ok {
+		return
+	}
+	nc.Exchanges++
+	now := e.Cycle()
+	peer := e.Node(peerID)
+	if peer == nil || !peer.Alive {
+		// The partner crashed: the exchange is simply lost. Drop the dead
+		// descriptor locally so repeated failures do not pin the view.
+		nc.FailedExchanges++
+		nc.view.Remove(peerID)
+		return
+	}
+	remote := peer.Protocol(nc.Slot).(*Newscast)
+
+	// Snapshot both views, then merge symmetrically with fresh
+	// self-descriptors (push-pull exchange).
+	mine := nc.view.Descriptors()
+	theirs := remote.view.Descriptors()
+	myDesc := Descriptor{ID: nc.self, Stamp: now}
+	peerDesc := Descriptor{ID: remote.self, Stamp: now}
+
+	nc.view.Merge(nc.self, append(append(theirs, peerDesc), myDesc))
+	remote.view.Merge(remote.self, append(append(mine, myDesc), peerDesc))
+}
+
+// InitNewscast wires a Newscast instance into protocol slot `slot` of every
+// node of e, bootstrapping each view with up to c random peers chosen by the
+// engine RNG. Call after all initial nodes are added; newly joining nodes
+// (churn) get their instance from the node factory and bootstrap lazily via
+// exchanges initiated by others... but since a joiner with an empty view can
+// never initiate, factories should call BootstrapFrom with at least one
+// known node, mirroring a real deployment's bootstrap server.
+func InitNewscast(e *sim.Engine, slot, c int) {
+	nodes := e.LiveNodes()
+	ids := make([]sim.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	for _, n := range nodes {
+		nc := NewNewscast(n.ID, c, slot)
+		// Bootstrap with up to c random other nodes.
+		k := c
+		if k > len(ids)-1 {
+			k = len(ids) - 1
+		}
+		peers := make([]sim.NodeID, 0, k)
+		for _, idx := range e.RNG().Sample(len(ids), k+1) {
+			if ids[idx] != n.ID && len(peers) < k {
+				peers = append(peers, ids[idx])
+			}
+		}
+		nc.Bootstrap(peers)
+		for len(n.Protocols) <= slot {
+			n.Protocols = append(n.Protocols, nil)
+		}
+		n.Protocols[slot] = nc
+	}
+}

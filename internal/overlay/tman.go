@@ -1,0 +1,177 @@
+package overlay
+
+import (
+	"sort"
+
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+)
+
+// TMan is the gossip-based topology construction protocol of Jelasity &
+// Babaoglu (ESOA 2005), cited by the paper as the canonical way a
+// topology service can build *structured* overlays (e.g. a mesh
+// partitioning the search space) out of the random Newscast substrate.
+//
+// Each node keeps a T-Man view of the c peers closest to it under a
+// problem-specific ranking (distance function). Periodically it picks the
+// closest known peer, exchanges views, and keeps the c closest of the
+// union. Starting from a random overlay, the target topology emerges in
+// O(log n) cycles.
+type TMan struct {
+	// C is the view size. Slot is TMan's protocol slot on all nodes.
+	// RandSlot, when >= 0, points at a peer-sampling protocol used to
+	// keep injecting random descriptors (prevents partitioning into
+	// local clusters).
+	C        int
+	Slot     int
+	RandSlot int
+	// Distance ranks candidate neighbors: smaller is closer. It must be
+	// symmetric and zero only for a == b.
+	Distance func(a, b sim.NodeID) float64
+
+	self  sim.NodeID
+	peers []sim.NodeID
+	// dead tombstones peers observed crashed, so third-party merges do
+	// not resurrect them. Sound because the simulator never reuses node
+	// IDs (see sim.NodeID); a real deployment would expire tombstones.
+	dead map[sim.NodeID]bool
+
+	// Exchanges counts initiated view exchanges.
+	Exchanges int64
+}
+
+// NewTMan creates a T-Man instance for node self.
+func NewTMan(self sim.NodeID, c, slot, randSlot int, dist func(a, b sim.NodeID) float64) *TMan {
+	return &TMan{C: c, Slot: slot, RandSlot: randSlot, Distance: dist, self: self}
+}
+
+// Neighbors implements PeerSampler: the current closest-known peers.
+func (t *TMan) Neighbors() []sim.NodeID {
+	return append([]sim.NodeID(nil), t.peers...)
+}
+
+// SamplePeer implements PeerSampler.
+func (t *TMan) SamplePeer(r *rng.RNG) (sim.NodeID, bool) {
+	if len(t.peers) == 0 {
+		return 0, false
+	}
+	return t.peers[r.Intn(len(t.peers))], true
+}
+
+// Bootstrap seeds the view.
+func (t *TMan) Bootstrap(peers []sim.NodeID) { t.merge(peers) }
+
+// merge folds candidates into the view, keeping the C closest distinct
+// non-self peers.
+func (t *TMan) merge(candidates []sim.NodeID) {
+	seen := map[sim.NodeID]bool{t.self: true}
+	var all []sim.NodeID
+	for _, id := range append(append([]sim.NodeID{}, t.peers...), candidates...) {
+		if !seen[id] && !t.dead[id] {
+			seen[id] = true
+			all = append(all, id)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		di, dj := t.Distance(t.self, all[i]), t.Distance(t.self, all[j])
+		if di != dj {
+			return di < dj
+		}
+		return all[i] < all[j]
+	})
+	if len(all) > t.C {
+		all = all[:t.C]
+	}
+	t.peers = all
+}
+
+// closest returns the nearest current neighbor.
+func (t *TMan) closest() (sim.NodeID, bool) {
+	if len(t.peers) == 0 {
+		return 0, false
+	}
+	return t.peers[0], true // merge keeps peers sorted by distance
+}
+
+// NextCycle implements sim.Protocol: one T-Man exchange with the closest
+// neighbor, plus an optional random-descriptor injection from the
+// underlying peer-sampling layer.
+func (t *TMan) NextCycle(n *sim.Node, e *sim.Engine) {
+	// Inject a random peer to maintain global connectivity.
+	if t.RandSlot >= 0 && t.RandSlot < len(n.Protocols) {
+		if ps, ok := n.Protocol(t.RandSlot).(PeerSampler); ok {
+			if id, ok := ps.SamplePeer(n.RNG); ok {
+				t.merge([]sim.NodeID{id})
+			}
+		}
+	}
+	target, ok := t.closest()
+	if !ok {
+		return
+	}
+	t.Exchanges++
+	peer := e.Node(target)
+	if peer == nil || !peer.Alive {
+		// Drop and tombstone the dead closest neighbor, or third-party
+		// merges would keep pinning it back into the view.
+		t.peers = t.peers[1:]
+		if t.dead == nil {
+			t.dead = make(map[sim.NodeID]bool)
+		}
+		t.dead[target] = true
+		return
+	}
+	remote, ok := peer.Protocol(t.Slot).(*TMan)
+	if !ok {
+		return
+	}
+	mine := append(t.Neighbors(), t.self)
+	theirs := append(remote.Neighbors(), remote.self)
+	t.merge(theirs)
+	remote.merge(mine)
+}
+
+// RingDistance returns a distance function for building a ring over node
+// IDs modulo n (the classic T-Man demonstration target).
+func RingDistance(n int) func(a, b sim.NodeID) float64 {
+	return func(a, b sim.NodeID) float64 {
+		d := int64(a) - int64(b)
+		if d < 0 {
+			d = -d
+		}
+		wrap := int64(n) - d
+		if wrap < d {
+			d = wrap
+		}
+		return float64(d)
+	}
+}
+
+// InitTMan wires T-Man into slot `slot` of every live node, each
+// bootstrapped with k random peers; randSlot may point at an existing
+// peer-sampling protocol (pass -1 to disable random injection).
+func InitTMan(e *sim.Engine, slot, randSlot, c int, dist func(a, b sim.NodeID) float64) {
+	nodes := e.LiveNodes()
+	ids := make([]sim.NodeID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID
+	}
+	for _, n := range nodes {
+		tm := NewTMan(n.ID, c, slot, randSlot, dist)
+		k := c
+		if k > len(ids)-1 {
+			k = len(ids) - 1
+		}
+		peers := make([]sim.NodeID, 0, k)
+		for _, idx := range e.RNG().Sample(len(ids), k+1) {
+			if ids[idx] != n.ID && len(peers) < k {
+				peers = append(peers, ids[idx])
+			}
+		}
+		tm.Bootstrap(peers)
+		for len(n.Protocols) <= slot {
+			n.Protocols = append(n.Protocols, nil)
+		}
+		n.Protocols[slot] = tm
+	}
+}

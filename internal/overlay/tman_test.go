@@ -1,0 +1,128 @@
+package overlay
+
+import (
+	"testing"
+
+	"gossipopt/internal/sim"
+)
+
+// buildTManNet wires Newscast (slot 0) + TMan (slot 1) on n nodes.
+func buildTManNet(seed uint64, n, c int) *sim.Engine {
+	e := sim.NewEngine(seed)
+	e.AddNodes(n)
+	InitNewscast(e, 0, 20)
+	InitTMan(e, 1, 0, c, RingDistance(n))
+	return e
+}
+
+func TestRingDistance(t *testing.T) {
+	d := RingDistance(10)
+	if d(0, 1) != 1 || d(0, 9) != 1 || d(0, 5) != 5 || d(3, 3) != 0 {
+		t.Fatal("ring distance wrong")
+	}
+}
+
+func TestTManConvergesToRing(t *testing.T) {
+	const n = 64
+	e := buildTManNet(1, n, 4)
+	e.Run(30)
+	// After convergence every node's two closest T-Man neighbors must be
+	// its actual ring successors/predecessors (distance 1).
+	perfect := 0
+	e.ForEachLive(func(nd *sim.Node) {
+		tm := nd.Protocol(1).(*TMan)
+		nbrs := tm.Neighbors()
+		if len(nbrs) < 2 {
+			return
+		}
+		d := RingDistance(n)
+		if d(nd.ID, nbrs[0]) == 1 && d(nd.ID, nbrs[1]) == 1 {
+			perfect++
+		}
+	})
+	if perfect < n*95/100 {
+		t.Fatalf("only %d/%d nodes found both ring neighbors", perfect, n)
+	}
+}
+
+func TestTManFasterThanRandomWalkWouldBe(t *testing.T) {
+	// Convergence should be fast (O(log n)): by cycle 15 most of the ring
+	// must be in place for n = 128.
+	const n = 128
+	e := buildTManNet(2, n, 4)
+	e.Run(15)
+	good := 0
+	e.ForEachLive(func(nd *sim.Node) {
+		tm := nd.Protocol(1).(*TMan)
+		d := RingDistance(n)
+		for _, nb := range tm.Neighbors() {
+			if d(nd.ID, nb) == 1 {
+				good++
+				break
+			}
+		}
+	})
+	if good < n*80/100 {
+		t.Fatalf("only %d/%d nodes adjacent to a ring neighbor by cycle 15", good, n)
+	}
+}
+
+func TestTManViewInvariants(t *testing.T) {
+	e := buildTManNet(3, 50, 6)
+	e.Run(20)
+	e.ForEachLive(func(nd *sim.Node) {
+		tm := nd.Protocol(1).(*TMan)
+		nbrs := tm.Neighbors()
+		if len(nbrs) > 6 {
+			t.Fatalf("view overflow: %d", len(nbrs))
+		}
+		seen := map[sim.NodeID]bool{}
+		d := RingDistance(50)
+		prev := -1.0
+		for _, nb := range nbrs {
+			if nb == nd.ID {
+				t.Fatalf("node %d contains itself", nd.ID)
+			}
+			if seen[nb] {
+				t.Fatalf("duplicate neighbor %d", nb)
+			}
+			seen[nb] = true
+			if dist := d(nd.ID, nb); dist < prev {
+				t.Fatal("neighbors not sorted by distance")
+			} else {
+				prev = dist
+			}
+		}
+	})
+}
+
+func TestTManSurvivesCrashes(t *testing.T) {
+	const n = 64
+	e := buildTManNet(4, n, 4)
+	e.Run(20)
+	// Crash every fourth node; survivors must drop dead neighbors.
+	for id := sim.NodeID(0); int(id) < n; id += 4 {
+		e.Crash(id)
+	}
+	e.Run(20)
+	e.ForEachLive(func(nd *sim.Node) {
+		tm := nd.Protocol(1).(*TMan)
+		// The closest neighbor must be live (dead ones are pruned on
+		// contact).
+		if id, ok := tm.closest(); ok {
+			if tgt := e.Node(id); tgt == nil || !tgt.Alive {
+				t.Fatalf("node %d still has dead closest neighbor %d", nd.ID, id)
+			}
+		}
+	})
+}
+
+func TestTManEmptyView(t *testing.T) {
+	tm := NewTMan(1, 4, 0, -1, RingDistance(8))
+	if _, ok := tm.SamplePeer(nil); ok {
+		t.Fatal("empty view sampled")
+	}
+	if _, ok := tm.closest(); ok {
+		t.Fatal("closest on empty view")
+	}
+}

@@ -1,0 +1,144 @@
+// Package overlay implements the paper's topology service: the NEWSCAST
+// gossip-based peer-sampling protocol (Jelasity et al.), a set of static
+// reference topologies (full mesh, ring, star/master-slave, grid,
+// k-regular random, Watts–Strogatz small-world) and graph-analysis helpers
+// used to verify that Newscast indeed maintains a strongly connected,
+// random-graph-like overlay under churn.
+package overlay
+
+import (
+	"sort"
+
+	"gossipopt/internal/sim"
+)
+
+// Descriptor is a Newscast node descriptor: a remote node identifier plus a
+// logical timestamp recording when the descriptor was created. Fresher
+// descriptors win during view merges, which is what flushes crashed nodes
+// out of the overlay.
+type Descriptor struct {
+	ID    sim.NodeID
+	Stamp int64
+}
+
+// View is a bounded set of descriptors, at most one per node ID, ordered by
+// freshness (freshest first). The zero value is an empty view.
+type View struct {
+	c     int
+	items []Descriptor
+
+	// Merge scratch space, reused across calls: view exchanges run once
+	// per node per cycle, so per-call allocations dominate Newscast's cost
+	// otherwise.
+	scratch []Descriptor
+	seen    map[sim.NodeID]struct{}
+}
+
+// NewView creates an empty view with capacity c.
+func NewView(c int) *View { return &View{c: c} }
+
+// Cap returns the view capacity.
+func (v *View) Cap() int { return v.c }
+
+// Len returns the number of descriptors currently held.
+func (v *View) Len() int { return len(v.items) }
+
+// IDs returns the node IDs in the view, freshest first.
+func (v *View) IDs() []sim.NodeID {
+	out := make([]sim.NodeID, len(v.items))
+	for i, d := range v.items {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// Descriptors returns a copy of the view contents, freshest first.
+func (v *View) Descriptors() []Descriptor {
+	return append([]Descriptor(nil), v.items...)
+}
+
+// Contains reports whether the view holds a descriptor for id.
+func (v *View) Contains(id sim.NodeID) bool {
+	for _, d := range v.items {
+		if d.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert merges a single descriptor into the view, keeping at most one
+// descriptor per ID (the freshest) and at most Cap descriptors overall
+// (the freshest). self is excluded: a view never contains its owner.
+func (v *View) Insert(self sim.NodeID, d Descriptor) {
+	v.Merge(self, []Descriptor{d})
+}
+
+// mix hashes a descriptor to break freshness ties. Breaking ties by plain
+// ID order would systematically favor low-ID nodes and grow hubs; a
+// deterministic hash keeps merging reproducible without the bias.
+func mix(d Descriptor) uint64 {
+	x := uint64(d.ID)*0x9e3779b97f4a7c15 ^ uint64(d.Stamp)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	return x ^ x>>29
+}
+
+// Merge folds a batch of descriptors into the view under the Newscast rule:
+// drop self-descriptors, deduplicate by ID keeping the freshest stamp, then
+// keep the Cap freshest overall. Ties in freshness break by a deterministic
+// hash of the descriptor so merging is reproducible yet unbiased.
+func (v *View) Merge(self sim.NodeID, batch []Descriptor) {
+	v.scratch = v.scratch[:0]
+	v.scratch = append(v.scratch, v.items...)
+	for _, d := range batch {
+		if d.ID != self {
+			v.scratch = append(v.scratch, d)
+		}
+	}
+	// Sort freshest first; after sorting, the first occurrence of each ID
+	// is its freshest descriptor, so a single keep-first pass both
+	// deduplicates and selects the Cap freshest.
+	sort.Slice(v.scratch, func(i, j int) bool {
+		a, b := v.scratch[i], v.scratch[j]
+		if a.Stamp != b.Stamp {
+			return a.Stamp > b.Stamp
+		}
+		ha, hb := mix(a), mix(b)
+		if ha != hb {
+			return ha < hb
+		}
+		return a.ID < b.ID
+	})
+	if v.seen == nil {
+		v.seen = make(map[sim.NodeID]struct{}, 2*v.c)
+	}
+	clear(v.seen)
+	out := v.items[:0]
+	for _, d := range v.scratch {
+		if _, dup := v.seen[d.ID]; dup {
+			continue
+		}
+		v.seen[d.ID] = struct{}{}
+		out = append(out, d)
+		if len(out) == v.c {
+			break
+		}
+	}
+	v.items = out
+}
+
+// Remove deletes the descriptor for id, if present.
+func (v *View) Remove(id sim.NodeID) {
+	for i, d := range v.items {
+		if d.ID == id {
+			v.items = append(v.items[:i], v.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clone returns an independent copy of the view.
+func (v *View) Clone() *View {
+	return &View{c: v.c, items: append([]Descriptor(nil), v.items...)}
+}

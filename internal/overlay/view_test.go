@@ -1,0 +1,145 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gossipopt/internal/rng"
+	"gossipopt/internal/sim"
+)
+
+func TestViewInsertBasic(t *testing.T) {
+	v := NewView(3)
+	v.Insert(9, Descriptor{ID: 1, Stamp: 5})
+	v.Insert(9, Descriptor{ID: 2, Stamp: 3})
+	if v.Len() != 2 {
+		t.Fatalf("Len=%d", v.Len())
+	}
+	if !v.Contains(1) || !v.Contains(2) || v.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestViewExcludesSelf(t *testing.T) {
+	v := NewView(3)
+	v.Insert(7, Descriptor{ID: 7, Stamp: 100})
+	if v.Len() != 0 {
+		t.Fatal("view accepted a self-descriptor")
+	}
+}
+
+func TestViewKeepsFreshestPerID(t *testing.T) {
+	v := NewView(3)
+	v.Insert(0, Descriptor{ID: 1, Stamp: 5})
+	v.Insert(0, Descriptor{ID: 1, Stamp: 9})
+	v.Insert(0, Descriptor{ID: 1, Stamp: 2})
+	if v.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", v.Len())
+	}
+	if d := v.Descriptors()[0]; d.Stamp != 9 {
+		t.Fatalf("kept stamp %d, want 9", d.Stamp)
+	}
+}
+
+func TestViewCapacityKeepsFreshest(t *testing.T) {
+	v := NewView(2)
+	v.Merge(0, []Descriptor{
+		{ID: 1, Stamp: 1}, {ID: 2, Stamp: 5}, {ID: 3, Stamp: 3},
+	})
+	if v.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", v.Len())
+	}
+	ids := v.IDs()
+	if ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("kept %v, want [2 3] (freshest first)", ids)
+	}
+}
+
+func TestViewRemove(t *testing.T) {
+	v := NewView(3)
+	v.Merge(0, []Descriptor{{ID: 1, Stamp: 1}, {ID: 2, Stamp: 2}})
+	v.Remove(1)
+	if v.Contains(1) || !v.Contains(2) {
+		t.Fatal("Remove wrong")
+	}
+	v.Remove(99) // no-op
+	if v.Len() != 1 {
+		t.Fatal("Remove of absent ID changed view")
+	}
+}
+
+func TestViewCloneIndependent(t *testing.T) {
+	v := NewView(3)
+	v.Insert(0, Descriptor{ID: 1, Stamp: 1})
+	c := v.Clone()
+	c.Insert(0, Descriptor{ID: 2, Stamp: 2})
+	if v.Len() != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+// Property: after any Merge, the view invariants hold — size <= cap, no
+// self, no duplicate IDs, sorted freshest-first.
+func TestViewInvariants(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint32, nRaw, capRaw uint8) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		c := int(capRaw%10) + 1
+		self := sim.NodeID(rr.Intn(20))
+		v := NewView(c)
+		for round := 0; round < 5; round++ {
+			batch := make([]Descriptor, int(nRaw%30))
+			for i := range batch {
+				batch[i] = Descriptor{
+					ID:    sim.NodeID(rr.Intn(20)),
+					Stamp: int64(rr.Intn(100)),
+				}
+			}
+			v.Merge(self, batch)
+			if v.Len() > c {
+				return false
+			}
+			seen := map[sim.NodeID]bool{}
+			ds := v.Descriptors()
+			for i, d := range ds {
+				if d.ID == self || seen[d.ID] {
+					return false
+				}
+				seen[d.ID] = true
+				if i > 0 && ds[i-1].Stamp < d.Stamp {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging is idempotent — merging a view's own contents changes
+// nothing.
+func TestViewMergeIdempotent(t *testing.T) {
+	r := rng.New(2)
+	if err := quick.Check(func(seed uint32) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		v := NewView(5)
+		for i := 0; i < 8; i++ {
+			v.Insert(0, Descriptor{ID: sim.NodeID(rr.Intn(10) + 1), Stamp: int64(rr.Intn(50))})
+		}
+		before := v.Descriptors()
+		v.Merge(0, before)
+		after := v.Descriptors()
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,301 @@
+package p2p
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"gossipopt/internal/funcs"
+)
+
+// startCluster launches n nodes; node 0 is the bootstrap target of all
+// others. Caller must stop every returned node.
+func startCluster(t *testing.T, n int, cfg NodeConfig) []*Node {
+	t.Helper()
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = uint64(i + 1)
+		if i > 0 {
+			c.Bootstrap = []string{nodes[0].Addr()}
+		}
+		nd, err := Start(c)
+		if err != nil {
+			for _, p := range nodes {
+				p.Stop()
+			}
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes = append(nodes, nd)
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	return nodes
+}
+
+func fastCfg() NodeConfig {
+	return NodeConfig{
+		Function:         funcs.Sphere,
+		Particles:        8,
+		GossipEvery:      8,
+		NewscastInterval: 20 * time.Millisecond,
+		EvalThrottle:     100 * time.Microsecond,
+		DialTimeout:      time.Second,
+	}
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestSingleNodeOptimizes(t *testing.T) {
+	nodes := startCluster(t, 1, fastCfg())
+	waitUntil(t, 5*time.Second, func() bool {
+		return nodes[0].Evals() > 1000
+	}, "node performed no evaluations")
+	_, f, ok := nodes[0].Best()
+	if !ok {
+		t.Fatal("no best after 1000 evals")
+	}
+	if f < 0 {
+		t.Fatalf("negative fitness %g", f)
+	}
+}
+
+func TestViewsPropagate(t *testing.T) {
+	nodes := startCluster(t, 5, fastCfg())
+	// Every node must eventually know more than just the bootstrap node.
+	waitUntil(t, 10*time.Second, func() bool {
+		for _, nd := range nodes[1:] {
+			if len(nd.Peers()) < 2 {
+				return false
+			}
+		}
+		return len(nodes[0].Peers()) >= 2
+	}, "views never propagated beyond bootstrap")
+}
+
+func TestBestDiffusesAcrossCluster(t *testing.T) {
+	nodes := startCluster(t, 4, fastCfg())
+	waitUntil(t, 15*time.Second, func() bool {
+		// All nodes converge to (nearly) the same best via gossip.
+		var lo, hi float64
+		first := true
+		for _, nd := range nodes {
+			_, f, ok := nd.Best()
+			if !ok {
+				return false
+			}
+			if first {
+				lo, hi = f, f
+				first = false
+				continue
+			}
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		// Some adoption must have happened and all nodes must be close
+		// to the cluster-wide best.
+		var adoptions int64
+		for _, nd := range nodes {
+			_, a, _ := nd.Stats()
+			adoptions += a
+		}
+		return adoptions > 0 && hi <= lo*1e6+1e-6
+	}, "best never diffused across the cluster")
+}
+
+func TestClusterConvergesOnSphere(t *testing.T) {
+	cfg := fastCfg()
+	cfg.EvalThrottle = 0 // full speed
+	nodes := startCluster(t, 3, cfg)
+	waitUntil(t, 15*time.Second, func() bool {
+		_, f, ok := nodes[1].Best()
+		return ok && f < 1e-6
+	}, "cluster never converged on Sphere")
+}
+
+func TestNodeCrashTolerated(t *testing.T) {
+	nodes := startCluster(t, 4, fastCfg())
+	waitUntil(t, 10*time.Second, func() bool {
+		return len(nodes[3].Peers()) >= 2
+	}, "cluster never formed")
+	// Kill the bootstrap node; the rest must keep optimizing.
+	nodes[0].Stop()
+	before := nodes[1].Evals()
+	waitUntil(t, 10*time.Second, func() bool {
+		return nodes[1].Evals() > before+1000
+	}, "survivors stopped optimizing after bootstrap crash")
+	// The dead peer must age out of views (failed exchanges remove it).
+	dead := nodes[0].Addr()
+	waitUntil(t, 15*time.Second, func() bool {
+		for _, nd := range nodes[1:] {
+			for _, p := range nd.Peers() {
+				if p == dead {
+					return false
+				}
+			}
+		}
+		return true
+	}, "dead bootstrap still present in views")
+}
+
+func TestStopIsClean(t *testing.T) {
+	nd, err := Start(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		nd.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := NodeConfig{}.withDefaults()
+	if c.Particles != 16 || c.GossipEvery != 16 || c.ViewSize != 20 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Function.Name != "Sphere" {
+		t.Fatalf("default function = %s", c.Function.Name)
+	}
+}
+
+func TestBootstrapUnreachableStillRuns(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Bootstrap = []string{"127.0.0.1:1"} // nothing listens there
+	nd, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	waitUntil(t, 5*time.Second, func() bool {
+		return nd.Evals() > 100
+	}, "node with dead bootstrap froze")
+}
+
+func TestServerSurvivesGarbageAndPartialConnections(t *testing.T) {
+	nd, err := Start(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+
+	// Garbage bytes instead of a gob envelope.
+	conn, err := net.Dial("tcp", nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("NOT A GOB STREAM \x00\xff\x17")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A connection that opens and immediately closes.
+	conn2, err := net.Dial("tcp", nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+
+	// An unknown message kind.
+	conn3, err := net.Dial("tcp", nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gob.NewEncoder(conn3).Encode(&Envelope{Kind: 99, From: "nobody"})
+	conn3.Close()
+
+	// The node must keep optimizing through all of it.
+	before := nd.Evals()
+	waitUntil(t, 5*time.Second, func() bool {
+		return nd.Evals() > before+500
+	}, "node stalled after malformed connections")
+}
+
+func TestViewExchangeOverWire(t *testing.T) {
+	// Drive one view exchange by hand to pin the wire protocol.
+	nd, err := Start(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+
+	req := &Envelope{
+		Kind: kindViewExchange,
+		From: "10.0.0.9:999",
+		View: []Descriptor{{Addr: "10.0.0.9:999", Stamp: time.Now().UnixNano()}},
+	}
+	resp, err := roundTrip(nd.Addr(), req, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != kindViewExchange {
+		t.Fatalf("reply kind %d", resp.Kind)
+	}
+	// The reply must contain the node's own fresh descriptor.
+	foundSelf := false
+	for _, d := range resp.View {
+		if d.Addr == nd.Addr() {
+			foundSelf = true
+		}
+	}
+	if !foundSelf {
+		t.Fatalf("reply view %v lacks the node's self-descriptor", resp.View)
+	}
+	// And our address must now be in the node's view.
+	waitUntil(t, 2*time.Second, func() bool {
+		for _, p := range nd.Peers() {
+			if p == "10.0.0.9:999" {
+				return true
+			}
+		}
+		return false
+	}, "sender not merged into the view")
+}
+
+func TestBestExchangeOverWire(t *testing.T) {
+	nd, err := Start(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	waitUntil(t, 5*time.Second, func() bool { return nd.Evals() > 50 }, "no evals")
+
+	// Push a perfect point; the node must adopt it and report it back.
+	req := &Envelope{Kind: kindBestExchange, From: "x", X: make([]float64, 10), F: 0, Has: true}
+	resp, err := roundTrip(nd.Addr(), req, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Has || resp.F != 0 {
+		t.Fatalf("reply = %+v, want adopted best 0", resp)
+	}
+	_, f, ok := nd.Best()
+	if !ok || f != 0 {
+		t.Fatalf("node best %v after perfect injection", f)
+	}
+}

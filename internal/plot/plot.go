@@ -1,0 +1,229 @@
+// Package plot renders experiment results as TSV series files (for
+// external plotting, gnuplot-compatible) and as ASCII charts for terminal
+// inspection. The paper's figures are log-scale scatter/line plots of
+// solution quality or time against a swept parameter; Chart reproduces
+// their shape directly in the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled line: X[i] maps to Y[i].
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart is a collection of series sharing axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX / LogY render the corresponding axis in log10 space (the
+	// paper's figures use log-scale Y, and log-scale X for network size).
+	LogX, LogY bool
+	Series     []Series
+}
+
+// Add appends a series built from parallel slices.
+func (c *Chart) Add(label string, x, y []float64) {
+	c.Series = append(c.Series, Series{Label: label, X: x, Y: y})
+}
+
+// TSV renders the chart as a gnuplot-friendly table: one x column plus one
+// column per series (empty cells where a series lacks that x).
+func (c *Chart) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", c.Title)
+	fmt.Fprintf(&b, "# x=%s y=%s\n", c.XLabel, c.YLabel)
+	b.WriteString("x")
+	for _, s := range c.Series {
+		b.WriteString("\t")
+		b.WriteString(s.Label)
+	}
+	b.WriteString("\n")
+
+	// Collect the union of x values.
+	xsSet := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			b.WriteString("\t")
+			found := false
+			for i, sx := range s.X {
+				if sx == x {
+					fmt.Fprintf(&b, "%g", s.Y[i])
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.WriteString("-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+const markers = "ox+*#@%&"
+
+// ASCII renders the chart as a width×height character grid with axes,
+// legend and per-series markers.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	tx := func(x float64) float64 {
+		if c.LogX {
+			if x <= 0 {
+				return math.Inf(-1)
+			}
+			return math.Log10(x)
+		}
+		return x
+	}
+	ty := func(y float64) float64 {
+		if c.LogY {
+			if y <= 0 {
+				// Zero quality means "solved exactly"; pin to a floor so
+				// the point still renders at the bottom of the chart.
+				return math.Inf(-1)
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+
+	// Data ranges over finite transformed values.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	hasNegInfY := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			if math.IsInf(y, -1) {
+				hasNegInfY = true
+				if x < minX {
+					minX = x
+				}
+				if x > maxX {
+					maxX = x
+				}
+				continue
+			}
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if minX > maxX {
+		return c.Title + "\n(no data)\n"
+	}
+	if minY > maxY {
+		minY, maxY = 0, 1
+	}
+	if hasNegInfY {
+		// Give "exact zero" points a floor one decade below the minimum.
+		minY--
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plotPoint := func(x, y float64, m byte) {
+		cx := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		cy := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		row := height - 1 - cy
+		if cx >= 0 && cx < width && row >= 0 && row < height {
+			grid[row][cx] = m
+		}
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := tx(s.X[i]), ty(s.Y[i])
+			if math.IsInf(x, 0) || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			if math.IsInf(y, -1) {
+				y = minY
+			}
+			plotPoint(x, y, m)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.Title)
+	yl, yh := minY, maxY
+	unit := ""
+	if c.LogY {
+		unit = " (log10)"
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", yh)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", yl)
+		case height / 2:
+			label = fmt.Sprintf("%9.3g ", (yl+yh)/2)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	xunit := ""
+	if c.LogX {
+		xunit = " (log10)"
+	}
+	fmt.Fprintf(&b, "%10s %-.3g%s%*s%.3g\n", "", minX, xunit, width-12, "", maxX)
+	fmt.Fprintf(&b, "  y: %s%s, x: %s%s\n", c.YLabel, unit, c.XLabel, xunit)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	c := &Chart{Title: "t", XLabel: "n", YLabel: "q", LogY: true}
+	c.Add("a", []float64{1, 2, 4}, []float64{1e-1, 1e-3, 1e-5})
+	c.Add("b", []float64{1, 2, 4}, []float64{1e-2, 1e-4, 1e-6})
+	return c
+}
+
+func TestTSVStructure(t *testing.T) {
+	out := sampleChart().TSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 2 comment lines + header + 3 x rows.
+	if len(lines) != 6 {
+		t.Fatalf("TSV has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "x\ta\tb") {
+		t.Fatalf("header = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "1\t0.1\t0.01") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestTSVMissingCells(t *testing.T) {
+	c := &Chart{Title: "m"}
+	c.Add("a", []float64{1}, []float64{10})
+	c.Add("b", []float64{2}, []float64{20})
+	out := c.TSV()
+	if !strings.Contains(out, "1\t10\t-") || !strings.Contains(out, "2\t-\t20") {
+		t.Fatalf("missing-cell rendering wrong:\n%s", out)
+	}
+}
+
+func TestASCIIContainsMarkersAndLegend(t *testing.T) {
+	out := sampleChart().ASCII(60, 12)
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o = a") || !strings.Contains(out, "x = b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "t\n") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestASCIIEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.ASCII(40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart rendering: %q", out)
+	}
+}
+
+func TestASCIIHandlesZerosOnLogScale(t *testing.T) {
+	c := &Chart{Title: "z", LogY: true}
+	c.Add("a", []float64{1, 2, 3}, []float64{0, 1e-3, 1e-1})
+	out := c.ASCII(40, 10)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("log-scale zero leaked NaN/Inf:\n%s", out)
+	}
+}
+
+func TestASCIIMinimumSize(t *testing.T) {
+	out := sampleChart().ASCII(1, 1) // clamped to minimums
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Fatalf("chart too small:\n%s", out)
+	}
+}
+
+func TestASCIISinglePoint(t *testing.T) {
+	c := &Chart{Title: "p"}
+	c.Add("only", []float64{5}, []float64{7})
+	out := c.ASCII(30, 8)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestLogXRange(t *testing.T) {
+	c := &Chart{Title: "lx", LogX: true}
+	c.Add("a", []float64{1, 1024}, []float64{1, 2})
+	out := c.ASCII(40, 8)
+	if !strings.Contains(out, "(log10)") {
+		t.Fatalf("log x annotation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+// ChurnModel mutates the node population at the start of each cycle. The
+// paper's scenario is an organization's desktop pool where "nodes may join
+// and leave the system at will"; these models reproduce that behaviour in
+// controlled forms.
+type ChurnModel interface {
+	Apply(e *Engine)
+}
+
+// NoChurn is the identity churn model.
+type NoChurn struct{}
+
+// Apply does nothing.
+func (NoChurn) Apply(*Engine) {}
+
+// RateChurn crashes each live node with probability CrashProb per cycle and
+// creates JoinPerCycle fresh nodes per cycle (fractional rates accumulate).
+// MinLive, when positive, suppresses crashes that would drop the live
+// population below it, so the computation never dies out entirely.
+type RateChurn struct {
+	CrashProb    float64
+	JoinPerCycle float64
+	MinLive      int
+
+	joinAccum float64
+}
+
+// Apply implements ChurnModel.
+func (c *RateChurn) Apply(e *Engine) {
+	if c.CrashProb > 0 {
+		for _, n := range e.LiveNodes() {
+			if c.MinLive > 0 && e.LiveCount() <= c.MinLive {
+				break
+			}
+			if e.rng.Bool(c.CrashProb) {
+				e.Crash(n.ID)
+			}
+		}
+	}
+	c.joinAccum += c.JoinPerCycle
+	for c.joinAccum >= 1 {
+		e.AddNode()
+		c.joinAccum--
+	}
+}
+
+// CatastropheChurn crashes a fixed fraction of the live population exactly
+// once, at the given cycle. It models the paper's robustness claim "even if
+// a large portion of the network fails, the computation will end
+// successfully".
+type CatastropheChurn struct {
+	AtCycle  int64
+	Fraction float64
+
+	done bool
+}
+
+// Apply implements ChurnModel.
+func (c *CatastropheChurn) Apply(e *Engine) {
+	if c.done || e.Cycle() != c.AtCycle {
+		return
+	}
+	c.done = true
+	live := e.LiveNodes()
+	kill := int(float64(len(live)) * c.Fraction)
+	perm := e.rng.Perm(len(live))
+	for i := 0; i < kill && i < len(perm); i++ {
+		e.Crash(live[perm[i]].ID)
+	}
+}
+
+// SessionChurn gives every node an exponentially distributed session length
+// (mean MeanSession cycles); when a session expires the node crashes and,
+// after an exponentially distributed downtime (mean MeanDowntime cycles), a
+// fresh node joins in its place. This is the classic availability-trace
+// approximation for desktop grids.
+type SessionChurn struct {
+	MeanSession  float64
+	MeanDowntime float64
+
+	deaths map[NodeID]int64 // cycle at which the node crashes
+	joins  []int64          // cycles at which replacement nodes join
+}
+
+// Apply implements ChurnModel.
+func (c *SessionChurn) Apply(e *Engine) {
+	if c.deaths == nil {
+		c.deaths = make(map[NodeID]int64)
+	}
+	now := e.Cycle()
+	// Schedule sessions for nodes we have not seen yet.
+	for _, n := range e.LiveNodes() {
+		if _, ok := c.deaths[n.ID]; !ok {
+			life := int64(e.rng.ExpFloat64()*c.MeanSession) + 1
+			c.deaths[n.ID] = now + life
+		}
+	}
+	// Crash expired sessions and schedule replacements.
+	for id, at := range c.deaths {
+		if at <= now {
+			if n := e.Node(id); n != nil && n.Alive {
+				e.Crash(id)
+				down := int64(e.rng.ExpFloat64() * c.MeanDowntime)
+				c.joins = append(c.joins, now+down)
+			}
+			delete(c.deaths, id)
+		}
+	}
+	// Execute due joins.
+	rest := c.joins[:0]
+	for _, at := range c.joins {
+		if at <= now {
+			e.AddNode()
+		} else {
+			rest = append(rest, at)
+		}
+	}
+	c.joins = rest
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"container/heap"
+
+	"gossipopt/internal/rng"
+)
+
+// The event-driven engine complements the cycle-driven one for experiments
+// where message latency and loss matter. Protocols for this engine implement
+// Handler and exchange messages via Send; periodic behaviour is expressed
+// with timers (SendAfter to self).
+
+// Handler processes messages delivered to a node in the event-driven model.
+type Handler interface {
+	// Deliver handles msg arriving at node n at the engine's current time.
+	Deliver(n *Node, msg any, e *EventEngine)
+}
+
+// event is a message in flight (or a timer).
+type event struct {
+	at  float64
+	seq uint64 // tie-breaker for deterministic ordering
+	to  NodeID
+	msg any
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// LinkModel decides per-message latency and loss.
+type LinkModel interface {
+	// Latency returns the transit delay for a message from src to dst.
+	Latency(r *rng.RNG, src, dst NodeID) float64
+	// Drop reports whether the message is lost in transit.
+	Drop(r *rng.RNG, src, dst NodeID) bool
+}
+
+// UniformLink has latency uniform in [MinDelay, MaxDelay] and i.i.d. drop
+// probability LossProb.
+type UniformLink struct {
+	MinDelay, MaxDelay float64
+	LossProb           float64
+}
+
+// Latency implements LinkModel.
+func (l UniformLink) Latency(r *rng.RNG, _, _ NodeID) float64 {
+	if l.MaxDelay <= l.MinDelay {
+		return l.MinDelay
+	}
+	return r.UniformIn(l.MinDelay, l.MaxDelay)
+}
+
+// Drop implements LinkModel.
+func (l UniformLink) Drop(r *rng.RNG, _, _ NodeID) bool { return r.Bool(l.LossProb) }
+
+// EventEngine is the event-driven simulation engine.
+type EventEngine struct {
+	rng     *rng.RNG
+	nodes   map[NodeID]*Node
+	handler map[NodeID]Handler
+	nextID  NodeID
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	link    LinkModel
+
+	delivered, dropped int64
+}
+
+// NewEventEngine creates an event-driven engine with the given link model
+// (nil means zero-latency, lossless links).
+func NewEventEngine(seed uint64, link LinkModel) *EventEngine {
+	if link == nil {
+		link = UniformLink{}
+	}
+	return &EventEngine{
+		rng:     rng.New(seed),
+		nodes:   make(map[NodeID]*Node),
+		handler: make(map[NodeID]Handler),
+		link:    link,
+	}
+}
+
+// Now returns the current simulated time.
+func (e *EventEngine) Now() float64 { return e.now }
+
+// RNG exposes the engine's random stream.
+func (e *EventEngine) RNG() *rng.RNG { return e.rng }
+
+// Delivered returns the count of delivered messages.
+func (e *EventEngine) Delivered() int64 { return e.delivered }
+
+// Dropped returns the count of messages lost in transit.
+func (e *EventEngine) Dropped() int64 { return e.dropped }
+
+// AddNode creates a live node whose messages are processed by h.
+func (e *EventEngine) AddNode(h Handler) *Node {
+	n := &Node{ID: e.nextID, Alive: true, RNG: e.rng.Split()}
+	e.nextID++
+	e.nodes[n.ID] = n
+	e.handler[n.ID] = h
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (e *EventEngine) Node(id NodeID) *Node { return e.nodes[id] }
+
+// Crash marks a node dead; queued messages to it will be dropped on
+// delivery, exactly like a real crashed host.
+func (e *EventEngine) Crash(id NodeID) {
+	if n := e.nodes[id]; n != nil {
+		n.Alive = false
+	}
+}
+
+// LiveNodes returns all live nodes in ID order.
+func (e *EventEngine) LiveNodes() []*Node {
+	out := make([]*Node, 0, len(e.nodes))
+	for id := NodeID(0); id < e.nextID; id++ {
+		if n := e.nodes[id]; n != nil && n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Send queues msg from src to dst, subject to the link model.
+func (e *EventEngine) Send(src, dst NodeID, msg any) {
+	if e.link.Drop(e.rng, src, dst) {
+		e.dropped++
+		return
+	}
+	at := e.now + e.link.Latency(e.rng, src, dst)
+	e.push(at, dst, msg)
+}
+
+// SendAfter queues msg to dst after the given delay with no loss — used for
+// timers (dst == src) and for reliable local self-messages.
+func (e *EventEngine) SendAfter(delay float64, dst NodeID, msg any) {
+	e.push(e.now+delay, dst, msg)
+}
+
+func (e *EventEngine) push(at float64, dst NodeID, msg any) {
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, to: dst, msg: msg})
+}
+
+// Step delivers the next event. It reports false when the queue is empty.
+func (e *EventEngine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	n := e.nodes[ev.to]
+	if n == nil || !n.Alive {
+		e.dropped++
+		return true
+	}
+	if h := e.handler[ev.to]; h != nil {
+		e.delivered++
+		h.Deliver(n, ev.msg, e)
+	}
+	return true
+}
+
+// RunUntil processes events until the queue drains, the time horizon is
+// reached, or maxEvents deliveries occur. It returns the number of events
+// processed.
+func (e *EventEngine) RunUntil(horizon float64, maxEvents int64) int64 {
+	var count int64
+	for count < maxEvents {
+		ev, ok := e.queue.Peek()
+		if !ok || ev.at > horizon {
+			return count
+		}
+		if !e.Step() {
+			return count
+		}
+		count++
+	}
+	return count
+}

@@ -1,0 +1,250 @@
+// Package sim is a discrete simulator for large P2P networks, equivalent in
+// role to PeerSim, which the paper used for its evaluation. It offers two
+// execution models:
+//
+//   - a cycle-driven engine (Engine): in each cycle every live node's
+//     protocols are stepped once, in a freshly shuffled order, exactly like
+//     PeerSim's CDSimulator. This is what the paper's experiments use.
+//   - an event-driven engine (EventEngine, see events.go): a time-ordered
+//     event heap with configurable link latency and message loss, for
+//     experiments where asynchrony matters.
+//
+// Determinism: given the same seed, node count and protocol stack, a run
+// produces the identical trace. Each node owns a split RNG stream so that
+// adding observers or reordering unrelated code does not perturb results.
+package sim
+
+import (
+	"fmt"
+
+	"gossipopt/internal/rng"
+)
+
+// NodeID identifies a simulated node. IDs are never reused within a run,
+// so a crashed node's ID never refers to a different live node later.
+type NodeID int64
+
+// Protocol is one layer of a node's protocol stack in the cycle-driven
+// model. NextCycle is invoked once per cycle per live node.
+type Protocol interface {
+	NextCycle(n *Node, e *Engine)
+}
+
+// Node is one simulated peer. Protocol state lives in the Protocols slice;
+// slot indices are assigned by the experiment setup and shared across all
+// nodes (slot 0 might be the topology service, slot 1 the optimizer, ...).
+type Node struct {
+	ID    NodeID
+	Alive bool
+	// RNG is the node's private random stream.
+	RNG *rng.RNG
+	// Protocols holds one instance per protocol slot.
+	Protocols []Protocol
+}
+
+// Protocol returns the protocol instance in the given slot.
+func (n *Node) Protocol(slot int) Protocol { return n.Protocols[slot] }
+
+// Engine is the cycle-driven simulation engine.
+type Engine struct {
+	rng   *rng.RNG
+	nodes map[NodeID]*Node
+	// order caches live node IDs for shuffled iteration.
+	order  []NodeID
+	nextID NodeID
+	cycle  int64
+
+	// churn, when non-nil, is applied at the start of every cycle.
+	churn ChurnModel
+	// makeNode builds the protocol stack for a (re)joining node.
+	makeNode func(n *Node)
+
+	// observers run after every cycle.
+	observers []Observer
+}
+
+// Observer inspects the network after each cycle; returning false stops the
+// simulation (used for threshold-based termination, e.g. the paper's
+// fourth experiment).
+type Observer func(e *Engine) bool
+
+// NewEngine creates an empty engine with a deterministic RNG stream.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   rng.New(seed),
+		nodes: make(map[NodeID]*Node),
+	}
+}
+
+// RNG exposes the engine's private random stream (for setup code).
+func (e *Engine) RNG() *rng.RNG { return e.rng }
+
+// Cycle returns the number of completed cycles.
+func (e *Engine) Cycle() int64 { return e.cycle }
+
+// SetChurn installs a churn model applied at the start of each cycle.
+func (e *Engine) SetChurn(c ChurnModel) { e.churn = c }
+
+// SetNodeFactory installs the function used to populate the protocol stack
+// of nodes created by AddNode or by churn-driven joins.
+func (e *Engine) SetNodeFactory(f func(n *Node)) { e.makeNode = f }
+
+// AddObserver registers a per-cycle observer.
+func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
+
+// AddNode creates a new live node, populates its protocol stack via the
+// node factory (if set) and returns it.
+func (e *Engine) AddNode() *Node {
+	n := &Node{
+		ID:    e.nextID,
+		Alive: true,
+		RNG:   e.rng.Split(),
+	}
+	e.nextID++
+	if e.makeNode != nil {
+		e.makeNode(n)
+	}
+	e.nodes[n.ID] = n
+	e.order = append(e.order, n.ID)
+	return n
+}
+
+// AddNodes creates count nodes and returns them.
+func (e *Engine) AddNodes(count int) []*Node {
+	out := make([]*Node, count)
+	for i := range out {
+		out[i] = e.AddNode()
+	}
+	return out
+}
+
+// Node returns the node with the given ID, or nil if it does not exist.
+func (e *Engine) Node(id NodeID) *Node { return e.nodes[id] }
+
+// Crash marks the node as dead. Dead nodes are not stepped and are skipped
+// by RandomLiveNode. The node's state is retained so that rejoin semantics
+// can be modelled by the caller if desired.
+func (e *Engine) Crash(id NodeID) {
+	if n := e.nodes[id]; n != nil {
+		n.Alive = false
+	}
+}
+
+// Revive marks a crashed node as live again.
+func (e *Engine) Revive(id NodeID) {
+	if n := e.nodes[id]; n != nil {
+		n.Alive = true
+	}
+}
+
+// LiveCount returns the number of live nodes.
+func (e *Engine) LiveCount() int {
+	c := 0
+	for _, n := range e.nodes {
+		if n.Alive {
+			c++
+		}
+	}
+	return c
+}
+
+// Size returns the total number of nodes ever created and not removed.
+func (e *Engine) Size() int { return len(e.nodes) }
+
+// AllNodes returns every node ever created, dead or alive, in ID order.
+func (e *Engine) AllNodes() []*Node {
+	out := make([]*Node, 0, len(e.order))
+	for _, id := range e.order {
+		if n := e.nodes[id]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// LiveNodes returns all live nodes in ID order (deterministic).
+func (e *Engine) LiveNodes() []*Node {
+	out := make([]*Node, 0, len(e.order))
+	for _, id := range e.order {
+		if n := e.nodes[id]; n != nil && n.Alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ForEachLive calls f for every live node in ID order.
+func (e *Engine) ForEachLive(f func(n *Node)) {
+	for _, id := range e.order {
+		if n := e.nodes[id]; n != nil && n.Alive {
+			f(n)
+		}
+	}
+}
+
+// RandomLiveNode returns a uniformly random live node different from
+// exclude (pass -1 to allow any). Returns nil if no eligible node exists.
+// This is the simulator-level oracle; protocols that must be realistic use
+// the peer-sampling service instead.
+func (e *Engine) RandomLiveNode(exclude NodeID) *Node {
+	live := make([]NodeID, 0, len(e.order))
+	for _, id := range e.order {
+		if n := e.nodes[id]; n != nil && n.Alive && id != exclude {
+			live = append(live, id)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return e.nodes[live[e.rng.Intn(len(live))]]
+}
+
+// RunCycle executes one cycle: churn, then every live node's protocol stack
+// in a shuffled order, then observers. It reports false if any observer
+// requested termination.
+func (e *Engine) RunCycle() bool {
+	if e.churn != nil {
+		e.churn.Apply(e)
+	}
+	ids := make([]NodeID, 0, len(e.order))
+	for _, id := range e.order {
+		if n := e.nodes[id]; n != nil && n.Alive {
+			ids = append(ids, id)
+		}
+	}
+	e.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		n := e.nodes[id]
+		if n == nil || !n.Alive {
+			continue // may have crashed mid-cycle via protocol action
+		}
+		for _, p := range n.Protocols {
+			p.NextCycle(n, e)
+		}
+	}
+	e.cycle++
+	cont := true
+	for _, o := range e.observers {
+		if !o(e) {
+			cont = false
+		}
+	}
+	return cont
+}
+
+// Run executes up to maxCycles cycles, stopping early if an observer
+// requests termination. It returns the number of cycles executed.
+func (e *Engine) Run(maxCycles int64) int64 {
+	var i int64
+	for i = 0; i < maxCycles; i++ {
+		if !e.RunCycle() {
+			return i + 1
+		}
+	}
+	return i
+}
+
+// String summarizes the engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{cycle=%d nodes=%d live=%d}", e.cycle, e.Size(), e.LiveCount())
+}

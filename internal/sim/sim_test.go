@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// countingProto records how many times each node was stepped.
+type countingProto struct {
+	steps int
+}
+
+func (c *countingProto) NextCycle(n *Node, e *Engine) { c.steps++ }
+
+func newCountingEngine(seed uint64, n int) (*Engine, []*countingProto) {
+	e := NewEngine(seed)
+	protos := make([]*countingProto, 0, n)
+	e.SetNodeFactory(func(nd *Node) {
+		p := &countingProto{}
+		protos = append(protos, p)
+		nd.Protocols = []Protocol{p}
+	})
+	e.AddNodes(n)
+	return e, protos
+}
+
+func TestEveryLiveNodeSteppedOncePerCycle(t *testing.T) {
+	e, protos := newCountingEngine(1, 10)
+	e.Run(5)
+	for i, p := range protos {
+		if p.steps != 5 {
+			t.Fatalf("node %d stepped %d times, want 5", i, p.steps)
+		}
+	}
+}
+
+func TestCrashedNodesNotStepped(t *testing.T) {
+	e, protos := newCountingEngine(2, 4)
+	e.Crash(0)
+	e.Run(3)
+	if protos[0].steps != 0 {
+		t.Fatalf("crashed node stepped %d times", protos[0].steps)
+	}
+	for i := 1; i < 4; i++ {
+		if protos[i].steps != 3 {
+			t.Fatalf("live node %d stepped %d times", i, protos[i].steps)
+		}
+	}
+}
+
+func TestReviveResumesStepping(t *testing.T) {
+	e, protos := newCountingEngine(3, 2)
+	e.Crash(1)
+	e.Run(2)
+	e.Revive(1)
+	e.Run(2)
+	if protos[1].steps != 2 {
+		t.Fatalf("revived node stepped %d times, want 2", protos[1].steps)
+	}
+}
+
+func TestLiveCountAndSize(t *testing.T) {
+	e, _ := newCountingEngine(4, 8)
+	if e.Size() != 8 || e.LiveCount() != 8 {
+		t.Fatalf("size=%d live=%d", e.Size(), e.LiveCount())
+	}
+	e.Crash(0)
+	e.Crash(5)
+	if e.LiveCount() != 6 {
+		t.Fatalf("live=%d after 2 crashes", e.LiveCount())
+	}
+	if e.Size() != 8 {
+		t.Fatalf("size=%d after crashes", e.Size())
+	}
+}
+
+func TestObserverStopsRun(t *testing.T) {
+	e, _ := newCountingEngine(5, 3)
+	e.AddObserver(func(e *Engine) bool { return e.Cycle() < 4 })
+	ran := e.Run(100)
+	if ran != 4 {
+		t.Fatalf("ran %d cycles, want 4", ran)
+	}
+}
+
+func TestRandomLiveNodeExcludes(t *testing.T) {
+	e, _ := newCountingEngine(6, 5)
+	for i := 0; i < 200; i++ {
+		n := e.RandomLiveNode(2)
+		if n == nil {
+			t.Fatal("RandomLiveNode returned nil with live nodes present")
+		}
+		if n.ID == 2 {
+			t.Fatal("RandomLiveNode returned excluded node")
+		}
+	}
+}
+
+func TestRandomLiveNodeNilWhenEmpty(t *testing.T) {
+	e := NewEngine(7)
+	if e.RandomLiveNode(-1) != nil {
+		t.Fatal("expected nil from empty engine")
+	}
+	n := e.AddNode()
+	if e.RandomLiveNode(n.ID) != nil {
+		t.Fatal("expected nil when only node is excluded")
+	}
+}
+
+// Property: the engine is deterministic — same seed, same trace.
+func TestDeterminism(t *testing.T) {
+	trace := func(seed uint64) []int {
+		e, protos := newCountingEngine(seed, 20)
+		e.SetChurn(&RateChurn{CrashProb: 0.02, JoinPerCycle: 0.5, MinLive: 2})
+		e.Run(30)
+		out := make([]int, len(protos))
+		for i, p := range protos {
+			out[i] = p.steps
+		}
+		return out
+	}
+	if err := quick.Check(func(seed uint16) bool {
+		a, b := trace(uint64(seed)), trace(uint64(seed))
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateChurnJoins(t *testing.T) {
+	e, _ := newCountingEngine(8, 4)
+	e.SetChurn(&RateChurn{JoinPerCycle: 2})
+	e.Run(5)
+	if e.Size() != 4+10 {
+		t.Fatalf("size=%d, want 14", e.Size())
+	}
+}
+
+func TestRateChurnMinLive(t *testing.T) {
+	e, _ := newCountingEngine(9, 10)
+	e.SetChurn(&RateChurn{CrashProb: 1.0, MinLive: 3})
+	e.Run(10)
+	if e.LiveCount() != 3 {
+		t.Fatalf("live=%d, want MinLive=3", e.LiveCount())
+	}
+}
+
+func TestCatastropheChurn(t *testing.T) {
+	e, _ := newCountingEngine(10, 100)
+	e.SetChurn(&CatastropheChurn{AtCycle: 3, Fraction: 0.5})
+	e.Run(10)
+	if got := e.LiveCount(); got != 50 {
+		t.Fatalf("live=%d after 50%% catastrophe, want 50", got)
+	}
+}
+
+func TestSessionChurnTurnsOver(t *testing.T) {
+	e, _ := newCountingEngine(11, 20)
+	e.SetChurn(&SessionChurn{MeanSession: 5, MeanDowntime: 2})
+	e.Run(100)
+	// With mean session 5 over 100 cycles, the original nodes must be gone
+	// and replacements joined; population should be of the same order.
+	if e.LiveCount() == 0 {
+		t.Fatal("population died out")
+	}
+	alive0 := 0
+	for id := NodeID(0); id < 20; id++ {
+		if n := e.Node(id); n != nil && n.Alive {
+			alive0++
+		}
+	}
+	if alive0 > 2 {
+		t.Fatalf("%d of the original 20 nodes still alive after 100 cycles (mean session 5)", alive0)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	e, _ := newCountingEngine(12, 2)
+	if e.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAllNodesIncludesDead(t *testing.T) {
+	e, _ := newCountingEngine(13, 5)
+	e.Crash(2)
+	all := e.AllNodes()
+	if len(all) != 5 {
+		t.Fatalf("AllNodes = %d, want 5", len(all))
+	}
+	for i, n := range all {
+		if n.ID != NodeID(i) {
+			t.Fatalf("AllNodes not in ID order: %v at %d", n.ID, i)
+		}
+	}
+	live := e.LiveNodes()
+	if len(live) != 4 {
+		t.Fatalf("LiveNodes = %d, want 4", len(live))
+	}
+}

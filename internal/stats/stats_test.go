@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gossipopt/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccBasics(t *testing.T) {
+	var a Acc
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		a.Add(x)
+	}
+	if a.N() != 5 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if !almostEq(a.Mean(), 3, 1e-12) {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	if !almostEq(a.Var(), 2.5, 1e-12) {
+		t.Fatalf("Var = %v", a.Var())
+	}
+}
+
+func TestAccEmpty(t *testing.T) {
+	var a Acc
+	if a.Mean() != 0 || a.Var() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+}
+
+func TestAccSingle(t *testing.T) {
+	var a Acc
+	a.Add(7)
+	if a.Mean() != 7 || a.Min() != 7 || a.Max() != 7 || a.Var() != 0 {
+		t.Fatal("single-sample accumulator wrong")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestMergeEquivalence(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint32, n1Raw, n2Raw uint8) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		n1, n2 := int(n1Raw%40), int(n2Raw%40)
+		var a, b, whole Acc
+		for i := 0; i < n1; i++ {
+			x := rr.NormFloat64() * 10
+			a.Add(x)
+			whole.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rr.NormFloat64() * 10
+			b.Add(x)
+			whole.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return almostEq(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEq(a.Var(), whole.Var(), 1e-6) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 6})
+	if s.N != 3 || s.Avg != 4 || s.Min != 2 || s.Max != 6 || s.Var != 4 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Median(s) != 3 {
+		t.Fatal("Median wrong")
+	}
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(s, 0.5); got != 3 {
+		t.Fatalf("Quantile of unsorted = %v", got)
+	}
+	// The input slice must not be reordered.
+	if s[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty slice")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 100}, 1e-300)
+	if !almostEq(got, 10, 1e-9) {
+		t.Fatalf("GeoMean = %v", got)
+	}
+	// Floor applies to zeros.
+	got = GeoMean([]float64{0, 100}, 1)
+	if !almostEq(got, 10, 1e-9) {
+		t.Fatalf("GeoMean with floor = %v", got)
+	}
+	if GeoMean(nil, 1) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := rng.New(7)
+	var small, large Acc
+	for i := 0; i < 10; i++ {
+		small.Add(r.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+// Property: variance is never negative and mean lies in [min, max].
+func TestAccInvariants(t *testing.T) {
+	r := rng.New(11)
+	if err := quick.Check(func(seed uint32, nRaw uint8) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		n := int(nRaw%50) + 1
+		var a Acc
+		for i := 0; i < n; i++ {
+			a.Add(rr.UniformIn(-1e6, 1e6))
+		}
+		return a.Var() >= 0 && a.Mean() >= a.Min()-1e-9 && a.Mean() <= a.Max()+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gossipopt/internal/rng"
+)
+
+func randVec(r *rng.RNG, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.UniformIn(-10, 10)
+	}
+	return v
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone aliases source")
+	}
+	if !Equal(Clone(a), a) {
+		t.Fatal("Clone not equal to source")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	dst := Zeros(3)
+	Add(dst, a, b)
+	if !Equal(dst, []float64{5, 7, 9}) {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, dst, b)
+	if !Equal(dst, a) {
+		t.Fatalf("Sub = %v", dst)
+	}
+}
+
+func TestAddAliasing(t *testing.T) {
+	a := []float64{1, 2}
+	Add(a, a, a)
+	if !Equal(a, []float64{2, 4}) {
+		t.Fatalf("aliased Add = %v", a)
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	a := []float64{1, -2, 3}
+	dst := Zeros(3)
+	Scale(dst, a, 2)
+	if !Equal(dst, []float64{2, -4, 6}) {
+		t.Fatalf("Scale = %v", dst)
+	}
+	AXPY(dst, -1, a)
+	if !Equal(dst, []float64{1, -2, 3}) {
+		t.Fatalf("AXPY = %v", dst)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	a := []float64{3, 4}
+	if got := Dot(a, a); got != 25 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := Norm2(a); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if got := Dist2(a, b); got != 5 {
+		t.Fatalf("Dist2 = %v", got)
+	}
+	if got := DistInf(a, b); got != 4 {
+		t.Fatalf("DistInf = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := []float64{-5, 0, 5}
+	Clamp(v, -1, 1)
+	if !Equal(v, []float64{-1, 0, 1}) {
+		t.Fatalf("Clamp = %v", v)
+	}
+	w := []float64{-3, 3}
+	ClampAbs(w, 2)
+	if !Equal(w, []float64{-2, 2}) {
+		t.Fatalf("ClampAbs = %v", w)
+	}
+}
+
+func TestClampBox(t *testing.T) {
+	v := []float64{-5, 0, 5}
+	lo := []float64{-1, -1, -1}
+	hi := []float64{1, 2, 3}
+	ClampBox(v, lo, hi)
+	if !Equal(v, []float64{-1, 0, 3}) {
+		t.Fatalf("ClampBox = %v", v)
+	}
+}
+
+func TestInBox(t *testing.T) {
+	if !InBox([]float64{0, 0.5, -0.5}, -1, 1) {
+		t.Fatal("InBox false negative")
+	}
+	if InBox([]float64{0, 2}, -1, 1) {
+		t.Fatal("InBox false positive")
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Fatal("AllFinite false negative")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("AllFinite accepted NaN")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("AllFinite accepted +Inf")
+	}
+}
+
+func TestEqualLengthMismatch(t *testing.T) {
+	if Equal([]float64{1}, []float64{1, 2}) {
+		t.Fatal("Equal ignored length mismatch")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched dims did not panic")
+		}
+	}()
+	Add(Zeros(2), Zeros(2), Zeros(3))
+}
+
+// Property: ||a+b|| <= ||a|| + ||b|| (triangle inequality).
+func TestTriangleInequality(t *testing.T) {
+	r := rng.New(1)
+	if err := quick.Check(func(seed uint32) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		a := randVec(rr, 8)
+		b := randVec(rr, 8)
+		sum := Add(Zeros(8), a, b)
+		return Norm2(sum) <= Norm2(a)+Norm2(b)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestDotProperties(t *testing.T) {
+	r := rng.New(2)
+	if err := quick.Check(func(seed uint32) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		a := randVec(rr, 6)
+		b := randVec(rr, 6)
+		if math.Abs(Dot(a, b)-Dot(b, a)) > 1e-9 {
+			return false
+		}
+		s := rr.UniformIn(-2, 2)
+		sa := Scale(Zeros(6), a, s)
+		return math.Abs(Dot(sa, b)-s*Dot(a, b)) < 1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after ClampAbs(v, m), every |v_i| <= m, and components already
+// inside the box are untouched.
+func TestClampAbsProperty(t *testing.T) {
+	r := rng.New(3)
+	if err := quick.Check(func(seed uint32) bool {
+		rr := rng.New(uint64(seed) ^ r.Uint64())
+		v := randVec(rr, 10)
+		orig := Clone(v)
+		m := rr.UniformIn(0.1, 5)
+		ClampAbs(v, m)
+		for i := range v {
+			if math.Abs(v[i]) > m {
+				return false
+			}
+			if math.Abs(orig[i]) <= m && v[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAXPY(b *testing.B) {
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AXPY(y, 0.5, x)
+	}
+}
+
+func BenchmarkDist2(b *testing.B) {
+	x := make([]float64, 64)
+	y := make([]float64, 64)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Dist2(x, y)
+	}
+	_ = sink
+}
