@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,6 +34,7 @@ func main() {
 		topoName  = flag.String("topo", "newscast", "topology: newscast, random, ring, star, full")
 		loss      = flag.Float64("loss", 0, "coordination message loss probability")
 		dim       = flag.Int("dim", 0, "dimension override (0 = paper default)")
+		workers   = flag.Int("workers", 0, "engine worker goroutines for the propose phase (0 = GOMAXPROCS; results are identical for any value)")
 		quiet     = flag.Bool("q", false, "print only the final quality")
 	)
 	flag.Parse()
@@ -55,6 +57,11 @@ func main() {
 		gossipEvery = 0
 	}
 
+	engineWorkers := *workers
+	if engineWorkers <= 0 {
+		engineWorkers = runtime.GOMAXPROCS(0)
+	}
+
 	net := gossipopt.New(gossipopt.Config{
 		Nodes:       *n,
 		Particles:   *k,
@@ -65,6 +72,7 @@ func main() {
 		Seed:        *seed,
 		Topology:    topo,
 		DropProb:    *loss,
+		Workers:     engineWorkers,
 	})
 
 	start := time.Now()
@@ -84,8 +92,8 @@ func main() {
 	}
 	best, ok := net.GlobalBest()
 	fmt.Printf("function        %s (dim %d, domain [%g, %g])\n", f.Name, f.Dim(*dim), f.Lo, f.Hi)
-	fmt.Printf("network         n=%d k=%d r=%d c=%d topo=%s loss=%.2f seed=%d\n",
-		*n, *k, gossipEvery, *c, topo, *loss, *seed)
+	fmt.Printf("network         n=%d k=%d r=%d c=%d topo=%s loss=%.2f seed=%d workers=%d\n",
+		*n, *k, gossipEvery, *c, topo, *loss, *seed, engineWorkers)
 	fmt.Printf("quality         %.6g\n", net.Quality())
 	if ok {
 		fmt.Printf("best fitness    %.6g\n", best.F)

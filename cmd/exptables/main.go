@@ -60,7 +60,8 @@ func main() {
 		outDir  = flag.String("out", "", "directory for TSV series files (empty = skip)")
 		noAscii = flag.Bool("no-ascii", false, "suppress ASCII figures")
 		funcsCS = flag.String("funcs", "", "comma-separated function subset (default: paper suite)")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
+		workers = flag.Int("workers", 0, "worker goroutines running repetitions (0 = NumCPU)")
+		engineW = flag.Int("engineworkers", 1, "per-repetition engine workers for the propose phase (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -111,6 +112,9 @@ func main() {
 			continue
 		}
 		cells := e.cells(spec, quick)
+		for i := range cells {
+			cells[i].Workers = *engineW
+		}
 		fmt.Printf("\n########## %s ##########\n", e.title)
 		fmt.Printf("# %d cells x %d reps (scale=%s, seed=%d)\n", len(cells), spec.Reps, *scale, *seed)
 		start := time.Now()

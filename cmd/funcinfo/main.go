@@ -9,50 +9,79 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gossipopt"
 )
 
+// errBadFlags marks a parse failure the FlagSet has already reported to
+// stderr, so main must not print it again.
+var errBadFlags = errors.New("invalid command line")
+
 func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // -h: usage printed, success
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// run executes the command against the given arguments and output stream
+// (separated from main for testability).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("funcinfo", flag.ContinueOnError)
 	var (
-		fname = flag.String("f", "", "show details for one function")
-		dim   = flag.Int("dim", 0, "dimension override")
-		probe = flag.Int("probe", 9, "number of radial probe points")
+		fname = fs.String("f", "", "show details for one function")
+		dim   = fs.Int("dim", 0, "dimension override")
+		probe = fs.Int("probe", 9, "number of radial probe points")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
+	if *probe < 1 {
+		return fmt.Errorf("-probe must be >= 1, got %d", *probe)
+	}
 
 	if *fname == "" {
-		fmt.Printf("%-15s %6s %12s %12s %-6s %s\n", "name", "dim", "lo", "hi", "hard", "optimum f")
+		fmt.Fprintf(out, "%-15s %6s %12s %12s %-6s %s\n", "name", "dim", "lo", "hi", "hard", "optimum f")
 		for _, f := range gossipopt.ExtendedSuite {
-			fmt.Printf("%-15s %6d %12g %12g %-6s %g\n",
+			fmt.Fprintf(out, "%-15s %6d %12g %12g %-6s %g\n",
 				f.Name, f.Dim(0), f.Lo, f.Hi, f.Hardness, f.OptimumValue)
 		}
-		return
+		return nil
 	}
 
 	f, err := gossipopt.FunctionByName(*fname)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
 	d := f.Dim(*dim)
 	opt := f.OptimumAt(d)
-	fmt.Printf("name        %s\n", f.Name)
-	fmt.Printf("dimension   %d\n", d)
-	fmt.Printf("domain      [%g, %g]^%d\n", f.Lo, f.Hi, d)
-	fmt.Printf("hardness    %s\n", f.Hardness)
-	fmt.Printf("optimum at  %v\n", opt)
-	fmt.Printf("f(optimum)  %g\n", f.Eval(opt))
-	fmt.Println("\nradial profile from the optimum toward the domain corner:")
+	fmt.Fprintf(out, "name        %s\n", f.Name)
+	fmt.Fprintf(out, "dimension   %d\n", d)
+	fmt.Fprintf(out, "domain      [%g, %g]^%d\n", f.Lo, f.Hi, d)
+	fmt.Fprintf(out, "hardness    %s\n", f.Hardness)
+	fmt.Fprintf(out, "optimum at  %v\n", opt)
+	fmt.Fprintf(out, "f(optimum)  %g\n", f.Eval(opt))
+	fmt.Fprintln(out, "\nradial profile from the optimum toward the domain corner:")
 	for i := 0; i <= *probe; i++ {
 		t := float64(i) / float64(*probe)
 		x := make([]float64, d)
 		for j := range x {
 			x[j] = opt[j] + t*(f.Hi-opt[j])
 		}
-		fmt.Printf("  t=%.2f  f=%.6g\n", t, f.Eval(x))
+		fmt.Fprintf(out, "  t=%.2f  f=%.6g\n", t, f.Eval(x))
 	}
+	return nil
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTableListsAllFunctions(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{"Sphere", "Griewank", "Rastrigin", "Schwefel"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunSingleFunctionProfile(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-f", "Schaffer", "-probe", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"name        Schaffer", "f(optimum)  0", "t=1.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownFunction(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-f", "NoSuch"}, &b); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}

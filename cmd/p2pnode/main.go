@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,26 +26,57 @@ import (
 	"gossipopt/internal/p2p"
 )
 
+// errBadFlags marks a parse failure the FlagSet has already reported to
+// stderr, so main must not print it again; errUsage marks other bad
+// command lines (exit 2, distinct from runtime failures' exit 1).
+var (
+	errBadFlags = errors.New("invalid command line")
+	errUsage    = errors.New("invalid usage")
+)
+
 func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp): // -h: usage printed, success
+	case errors.Is(err, errBadFlags):
+		os.Exit(2)
+	case errors.Is(err, errUsage):
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run starts a node per the given arguments and drives the report loop
+// until a signal or the -for deadline (separated from main for
+// testability).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("p2pnode", flag.ContinueOnError)
 	var (
-		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		join     = flag.String("join", "", "comma-separated bootstrap addresses")
-		fname    = flag.String("f", "Sphere", "benchmark function")
-		k        = flag.Int("k", 16, "particles in the local swarm")
-		r        = flag.Int("r", 0, "gossip every r local evaluations (0 = k)")
-		c        = flag.Int("c", 20, "Newscast view size")
-		interval = flag.Duration("newscast", 500*time.Millisecond, "Newscast cycle interval")
-		throttle = flag.Duration("throttle", time.Millisecond, "delay between evaluations (simulated objective cost)")
-		report   = flag.Duration("report", 2*time.Second, "status report interval")
-		seed     = flag.Uint64("seed", 0, "random seed (0 = derive from address)")
-		runFor   = flag.Duration("for", 0, "run duration (0 = until signal)")
+		listen   = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		join     = fs.String("join", "", "comma-separated bootstrap addresses")
+		fname    = fs.String("f", "Sphere", "benchmark function")
+		k        = fs.Int("k", 16, "particles in the local swarm")
+		r        = fs.Int("r", 0, "gossip every r local evaluations (0 = k)")
+		c        = fs.Int("c", 20, "Newscast view size")
+		interval = fs.Duration("newscast", 500*time.Millisecond, "Newscast cycle interval")
+		throttle = fs.Duration("throttle", time.Millisecond, "delay between evaluations (simulated objective cost)")
+		report   = fs.Duration("report", 2*time.Second, "status report interval")
+		seed     = fs.Uint64("seed", 0, "random seed (0 = derive from address)")
+		runFor   = fs.Duration("for", 0, "run duration (0 = until signal)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errBadFlags
+	}
 
 	f, err := gossipopt.FunctionByName(*fname)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return fmt.Errorf("%w: %v", errUsage, err)
 	}
 	var bootstrap []string
 	if *join != "" {
@@ -64,13 +97,13 @@ func main() {
 		Seed:             *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("node listening on %s (function %s, k=%d)\n", node.Addr(), f.Name, *k)
+	fmt.Fprintf(out, "node listening on %s (function %s, k=%d)\n", node.Addr(), f.Name, *k)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	ticker := time.NewTicker(*report)
 	defer ticker.Stop()
 	var deadline <-chan time.Time
@@ -87,17 +120,17 @@ func main() {
 			if ok {
 				status = fmt.Sprintf("best=%.6g", best)
 			}
-			fmt.Printf("[%s] evals=%d %s peers=%d exchanges=%d adoptions=%d failed=%d\n",
+			fmt.Fprintf(out, "[%s] evals=%d %s peers=%d exchanges=%d adoptions=%d failed=%d\n",
 				node.Addr(), node.Evals(), status, len(node.Peers()), ex, ad, fl)
 		case <-sig:
-			fmt.Println("\nshutting down")
+			fmt.Fprintln(out, "\nshutting down")
 			node.Stop()
-			return
+			return nil
 		case <-deadline:
 			_, best, _ := node.Best()
-			fmt.Printf("final best after %v: %.6g (%d evals)\n", *runFor, best, node.Evals())
+			fmt.Fprintf(out, "final best after %v: %.6g (%d evals)\n", *runFor, best, node.Evals())
 			node.Stop()
-			return
+			return nil
 		}
 	}
 }

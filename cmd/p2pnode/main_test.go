@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke starts a real TCP node on a loopback port, lets it evaluate
+// briefly and checks the startup banner and final report.
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{
+		"-listen", "127.0.0.1:0",
+		"-f", "Sphere",
+		"-k", "4",
+		"-throttle", "0s",
+		"-report", "50ms",
+		"-for", "300ms",
+		"-seed", "1",
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "node listening on 127.0.0.1:") {
+		t.Fatalf("missing startup banner:\n%s", out)
+	}
+	if !strings.Contains(out, "final best after 300ms:") {
+		t.Fatalf("missing final report:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownFunction(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-f", "NoSuch", "-for", "10ms"}, &b); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestRunRejectsBadListenAddress(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-listen", "256.0.0.1:bad", "-for", "10ms"}, &b); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module gossipopt
+
+go 1.22

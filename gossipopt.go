@@ -117,33 +117,33 @@ func MixedSolvers(factories ...SolverFactory) SolverFactory {
 
 // PSOSolver returns a factory for per-node particle swarms of k particles.
 func PSOSolver(k int, cfg PSOConfig) SolverFactory {
-	return func(f Function, dim int, r *RNG) Solver { return pso.New(f, dim, k, cfg, r) }
+	return func(f Function, dim int, _ int64, r *RNG) Solver { return pso.New(f, dim, k, cfg, r) }
 }
 
 // DESolver returns a factory for differential-evolution populations of np.
 func DESolver(np int) SolverFactory {
-	return func(f Function, dim int, r *RNG) Solver { return solver.NewDE(f, dim, np, r) }
+	return func(f Function, dim int, _ int64, r *RNG) Solver { return solver.NewDE(f, dim, np, r) }
 }
 
 // SASolver returns a factory for simulated annealers.
 func SASolver() SolverFactory {
-	return func(f Function, dim int, r *RNG) Solver { return solver.NewSA(f, dim, r) }
+	return func(f Function, dim int, _ int64, r *RNG) Solver { return solver.NewSA(f, dim, r) }
 }
 
 // ESSolver returns a factory for (1+1) evolution strategies.
 func ESSolver() SolverFactory {
-	return func(f Function, dim int, r *RNG) Solver { return solver.NewES(f, dim, r) }
+	return func(f Function, dim int, _ int64, r *RNG) Solver { return solver.NewES(f, dim, r) }
 }
 
 // RandomSolver returns a factory for uniform random search.
 func RandomSolver() SolverFactory {
-	return func(f Function, dim int, r *RNG) Solver { return solver.NewRandomSearch(f, dim, r) }
+	return func(f Function, dim int, _ int64, r *RNG) Solver { return solver.NewRandomSearch(f, dim, r) }
 }
 
 // GASolver returns a factory for steady-state real-coded genetic
 // algorithms with population np.
 func GASolver(np int) SolverFactory {
-	return func(f Function, dim int, r *RNG) Solver { return solver.NewGA(f, dim, np, r) }
+	return func(f Function, dim int, _ int64, r *RNG) Solver { return solver.NewGA(f, dim, np, r) }
 }
 
 // Experiment harness re-exports: regenerate the paper's tables & figures.

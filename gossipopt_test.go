@@ -52,7 +52,7 @@ func TestFacadeSolverFactories(t *testing.T) {
 		"es":     gossipopt.ESSolver(),
 		"random": gossipopt.RandomSolver(),
 	} {
-		s := factory(gossipopt.Sphere, 10, gossipopt.NewRNG(1))
+		s := factory(gossipopt.Sphere, 10, 0, gossipopt.NewRNG(1))
 		for i := 0; i < 50; i++ {
 			s.EvalOne()
 		}

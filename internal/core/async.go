@@ -196,7 +196,7 @@ func NewAsyncNetwork(cfg AsyncConfig) *AsyncNetwork {
 
 	mk := cfg.SolverFactory
 	if mk == nil {
-		mk = func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+		mk = func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 			return pso.New(f, dim, cfg.Particles, cfg.PSOConfig(), r)
 		}
 	}
@@ -206,7 +206,7 @@ func NewAsyncNetwork(cfg AsyncConfig) *AsyncNetwork {
 		n := eng.AddNode(a)
 		a.id = n.ID
 		a.view = overlay.NewView(cfg.ViewSize)
-		a.solver = mk(cfg.Function, cfg.Dim, n.RNG.Split())
+		a.solver = mk(cfg.Function, cfg.Dim, int64(n.ID), n.RNG.Split())
 		net.nodes = append(net.nodes, a)
 	}
 	// Bootstrap views with up to ViewSize random other nodes.

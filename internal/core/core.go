@@ -49,9 +49,10 @@ type BestPoint struct {
 func (b BestPoint) Better(o BestPoint) bool { return b.F < o.F }
 
 // OptNode is the per-node composition of the function optimization service
-// and the coordination service. It implements sim.Protocol: each cycle it
-// spends exactly one function evaluation, and after every R evaluations it
-// initiates one anti-entropy exchange of the node's best point.
+// and the coordination service. It speaks the engine's two-phase exchange
+// contract: each cycle the propose phase spends exactly one function
+// evaluation, and after every R evaluations it proposes one anti-entropy
+// exchange of the node's best point, completed during the apply phase.
 type OptNode struct {
 	// Solver is the node's function optimization service.
 	Solver solver.Solver
@@ -71,23 +72,30 @@ type OptNode struct {
 	Adoptions     int64 // times a remote best was adopted locally
 }
 
-// NextCycle implements sim.Protocol.
-func (o *OptNode) NextCycle(n *sim.Node, e *sim.Engine) {
+// Compile-time guards: sim.Protocol is untyped, so assert the two-phase
+// contracts explicitly — a signature drift must fail the build, not turn
+// the optimizer into a silent no-op.
+var (
+	_ sim.Proposer      = (*OptNode)(nil)
+	_ sim.Receiver      = (*OptNode)(nil)
+	_ sim.Undeliverable = (*OptNode)(nil)
+)
+
+// Propose implements sim.Proposer: spend one evaluation on the local
+// solver and, every R evaluations, propose the paper's §3.3.3 exchange by
+// mailing the node's best point ⟨g_p, f(g_p)⟩ to a sampled peer. Only the
+// node's own state is touched; the exchange settles in Receive.
+func (o *OptNode) Propose(n *sim.Node, px *sim.Proposals) {
 	o.Solver.EvalOne()
+	px.CountEvals(1)
 	if o.R <= 0 {
 		return
 	}
 	o.sinceGossip++
-	if o.sinceGossip >= o.R {
-		o.sinceGossip = 0
-		o.gossip(n, e)
+	if o.sinceGossip < o.R {
+		return
 	}
-}
-
-// gossip performs the paper's §3.3.3 exchange: p sends ⟨g_p, f(g_p)⟩ to a
-// sampled peer q; if p's point is better q adopts it, otherwise q replies
-// with its own and p adopts. Both sides end with the better point.
-func (o *OptNode) gossip(n *sim.Node, e *sim.Engine) {
+	o.sinceGossip = 0
 	sampler, ok := n.Protocol(SlotTopology).(overlay.PeerSampler)
 	if !ok {
 		return
@@ -101,32 +109,51 @@ func (o *OptNode) gossip(n *sim.Node, e *sim.Engine) {
 		o.LostExchanges++
 		return
 	}
-	peer := e.Node(peerID)
-	if peer == nil || !peer.Alive {
-		o.LostExchanges++
-		return
+	gx, gf := o.Solver.Best()
+	var x []float64
+	if gx != nil {
+		x = vec.Clone(gx) // solver-owned slice mutates; ship a snapshot
 	}
-	remote, ok := peer.Protocol(SlotOpt).(*OptNode)
+	px.Send(peerID, SlotOpt, BestPoint{X: x, F: gf})
+}
+
+// Receive implements sim.Receiver, completing the anti-entropy exchange on
+// the receiver q: if the initiator p's point is better q adopts it,
+// otherwise q replies with its own and p adopts. Both sides end with the
+// better point.
+func (o *OptNode) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	bp, ok := msg.Data.(BestPoint)
 	if !ok {
 		return
 	}
-
-	gx, gf := o.Solver.Best()
-	rx, rf := remote.Solver.Best()
+	rx, rf := o.Solver.Best()
 	switch {
-	case gx == nil && rx == nil:
+	case bp.X == nil && rx == nil:
 		return
-	case rx == nil || (gx != nil && gf < rf):
-		// p's point wins: q adopts. Clone: solver-owned slices mutate.
-		if remote.Solver.Inject(vec.Clone(gx), gf) {
-			remote.Adoptions++
-		}
-	case gx == nil || rf < gf:
-		// q replies with its better point: p adopts.
-		if o.Solver.Inject(vec.Clone(rx), rf) {
+	case rx == nil || (bp.X != nil && bp.F < rf):
+		// p's point wins: q adopts. bp.X was cloned at propose time and is
+		// delivered exactly once, so the solver may take ownership.
+		if o.Solver.Inject(bp.X, bp.F) {
 			o.Adoptions++
 		}
+	case bp.X == nil || rf < bp.F:
+		// q replies with its better point: p adopts.
+		peer := e.Node(msg.From)
+		if peer == nil || !peer.Alive {
+			return
+		}
+		if remote, ok := peer.Protocol(msg.Slot).(*OptNode); ok {
+			if remote.Solver.Inject(vec.Clone(rx), rf) {
+				remote.Adoptions++
+			}
+		}
 	}
+}
+
+// Undelivered implements sim.Undeliverable: the sampled peer was dead, so
+// the exchange is lost (the coordination layer's message-loss path).
+func (o *OptNode) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	o.LostExchanges++
 }
 
 // TopologyKind selects the topology service implementation.
@@ -200,6 +227,10 @@ type Config struct {
 	DropProb float64
 	// Churn, when non-nil, is applied by the engine every cycle.
 	Churn sim.ChurnModel
+	// Workers is the number of goroutines stepping nodes during the
+	// engine's propose phase (<= 1: single-threaded). The trace is
+	// bit-identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -232,15 +263,17 @@ func NewNetwork(cfg Config) *Network {
 	cfg = cfg.withDefaults()
 	eng := sim.NewEngine(cfg.Seed)
 
+	eng.SetWorkers(cfg.Workers)
+
 	mkSolver := cfg.SolverFactory
 	if mkSolver == nil {
-		mkSolver = func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+		mkSolver = func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 			return pso.New(f, dim, cfg.Particles, cfg.PSO, r)
 		}
 	}
-	newOptNode := func(r *rng.RNG) *OptNode {
+	newOptNode := func(id sim.NodeID, r *rng.RNG) *OptNode {
 		return &OptNode{
-			Solver:   mkSolver(cfg.Function, cfg.Dim, r.Split()),
+			Solver:   mkSolver(cfg.Function, cfg.Dim, int64(id), r.Split()),
 			R:        cfg.GossipEvery,
 			DropProb: cfg.DropProb,
 		}
@@ -252,7 +285,7 @@ func NewNetwork(cfg Config) *Network {
 		if b := eng.RandomLiveNode(n.ID); b != nil {
 			nc.Bootstrap([]sim.NodeID{b.ID})
 		}
-		n.Protocols = []sim.Protocol{nc, newOptNode(n.RNG)}
+		n.Protocols = []sim.Protocol{nc, newOptNode(n.ID, n.RNG)}
 	})
 
 	nodes := eng.AddNodes(cfg.Nodes)
@@ -279,7 +312,7 @@ func NewNetwork(cfg Config) *Network {
 		for len(n.Protocols) <= SlotOpt {
 			n.Protocols = append(n.Protocols, nil)
 		}
-		n.Protocols[SlotOpt] = newOptNode(n.RNG)
+		n.Protocols[SlotOpt] = newOptNode(n.ID, n.RNG)
 	}
 
 	if cfg.Churn != nil {
@@ -299,8 +332,15 @@ func (net *Network) Config() Config { return net.cfg }
 func (net *Network) Step() { net.eng.RunCycle() }
 
 // TotalEvals returns the number of objective evaluations performed by all
-// nodes, dead or alive — the paper's global budget e.
-func (net *Network) TotalEvals() int64 {
+// nodes, dead or alive — the paper's global budget e. O(1): the engine
+// maintains the counter (fed by OptNode.Propose), so the per-cycle budget
+// checks of RunEvals/RunUntil no longer make a run quadratic in n.
+func (net *Network) TotalEvals() int64 { return net.eng.Evals() }
+
+// ScanTotalEvals recomputes TotalEvals by walking every node's solver —
+// the historical O(n) implementation, kept as a cross-check of the
+// engine-maintained counter (tests assert they agree).
+func (net *Network) ScanTotalEvals() int64 {
 	var total int64
 	for _, n := range net.eng.AllNodes() {
 		if len(n.Protocols) > SlotOpt {
@@ -400,12 +440,12 @@ func (net *Network) String() string {
 
 // MixedFactory round-robins over the given factories, assigning a
 // different solver type to successive nodes — the paper's envisioned
-// "module diversification among peers".
+// "module diversification among peers". The choice is keyed off the node
+// ID (not a shared counter), so the assignment is deterministic and
+// race-free even when node stacks are built on parallel workers.
 func MixedFactory(factories ...solver.Factory) solver.Factory {
-	i := 0
-	return func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
-		mk := factories[i%len(factories)]
-		i++
-		return mk(f, dim, r)
+	return func(f funcs.Function, dim int, id int64, r *rng.RNG) solver.Solver {
+		mk := factories[int(uint64(id)%uint64(len(factories)))]
+		return mk(f, dim, id, r)
 	}
 }

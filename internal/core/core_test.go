@@ -216,10 +216,10 @@ func TestTopologyKindString(t *testing.T) {
 
 func TestMixedSolvers(t *testing.T) {
 	mixed := MixedFactory(
-		func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+		func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 			return solver.NewES(f, dim, r)
 		},
-		func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+		func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 			return solver.NewDE(f, dim, 16, r)
 		},
 	)

@@ -87,8 +87,9 @@ var _ solver.Solver = (*zoneSolver)(nil)
 
 // PartitionedConfig derives a Config whose n nodes search non-overlapping
 // slabs of the domain while gossiping best values. Zones are assigned
-// round-robin in node-creation order, so churn-joined replacements cycle
-// through the zones again and orphaned slabs are eventually re-covered.
+// round-robin by node ID, so churn-joined replacements cycle through the
+// zones again and orphaned slabs are eventually re-covered — and the
+// assignment stays deterministic when node stacks are built in parallel.
 func PartitionedConfig(base Config) Config {
 	base = base.withDefaults()
 	n := base.Nodes
@@ -96,10 +97,8 @@ func PartitionedConfig(base Config) Config {
 	width := f.Hi - f.Lo
 	k := base.Particles
 	psoCfg := base.PSO
-	idx := 0
-	base.SolverFactory = func(_ funcs.Function, dim int, r *rng.RNG) solver.Solver {
-		zone := idx % n
-		idx++
+	base.SolverFactory = func(_ funcs.Function, dim int, id int64, r *rng.RNG) solver.Solver {
+		zone := int(uint64(id) % uint64(n))
 		lo := f.Lo + float64(zone)/float64(n)*width
 		hi := f.Lo + float64(zone+1)/float64(n)*width
 		eval, toTrue := zoneEval(f, lo, hi)

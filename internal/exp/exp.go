@@ -46,6 +46,9 @@ type Cell struct {
 	// (heterogeneous deployments; factories may be stateful, so each
 	// repetition gets its own).
 	Solvers func() solver.Factory
+	// Workers is the per-repetition engine parallelism (propose-phase
+	// worker goroutines); results are identical for every value.
+	Workers int
 	// Tag labels ablation variants (e.g. "churn=0.50", "topo=ring").
 	Tag string
 }
@@ -107,6 +110,7 @@ func RunRep(c Cell, seed uint64) RepResult {
 		Seed:        seed,
 		Topology:    c.Topology,
 		DropProb:    c.DropProb,
+		Workers:     c.Workers,
 	}
 	if c.Churn != nil {
 		cfg.Churn = c.Churn()

@@ -302,24 +302,24 @@ func AblationMixedSolvers(s Spec, quick bool) []Cell {
 	}{
 		{"solver=pso", nil}, // nil keeps the default PSO factory
 		{"solver=de", func() solver.Factory {
-			return func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+			return func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 				return solver.NewDE(f, dim, k, r)
 			}
 		}},
 		{"solver=es", func() solver.Factory {
-			return func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+			return func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 				return solver.NewES(f, dim, r)
 			}
 		}},
 		{"solver=mixed", func() solver.Factory {
 			return core.MixedFactory(
-				func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+				func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 					return pso.New(f, dim, k, pso.Config{}, r)
 				},
-				func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+				func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 					return solver.NewDE(f, dim, k, r)
 				},
-				func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+				func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 					return solver.NewES(f, dim, r)
 				},
 			)

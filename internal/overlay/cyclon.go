@@ -27,6 +27,13 @@ type Cyclon struct {
 	Exchanges, FailedExchanges int64
 }
 
+// Compile-time guards for the two-phase contracts (see Newscast's note).
+var (
+	_ sim.Proposer      = (*Cyclon)(nil)
+	_ sim.Receiver      = (*Cyclon)(nil)
+	_ sim.Undeliverable = (*Cyclon)(nil)
+)
+
 // NewCyclon creates the Cyclon instance for the given node.
 func NewCyclon(self sim.NodeID, c, l, slot int) *Cyclon {
 	if l <= 0 || l > c {
@@ -97,46 +104,61 @@ func subset(r *rng.RNG, ds []Descriptor, l int, exclude sim.NodeID) []Descriptor
 	return out
 }
 
-// NextCycle implements sim.Protocol: one Cyclon shuffle with the oldest
-// neighbor.
-func (cy *Cyclon) NextCycle(n *sim.Node, e *sim.Engine) {
+// shuffleReq is Cyclon's proposed exchange: the initiator's shuffle subset
+// (L-1 random descriptors plus a fresh self-descriptor).
+type shuffleReq struct {
+	Sent []Descriptor
+}
+
+// Propose implements sim.Proposer: select the oldest neighbor and propose
+// a shuffle, sending L-1 random descriptors plus a fresh self-descriptor.
+// The initiator's view is not yet modified — swap bookkeeping happens when
+// the reply is computed in Receive (or in Undelivered on failure).
+func (cy *Cyclon) Propose(n *sim.Node, px *sim.Proposals) {
 	target, ok := cy.oldest()
 	if !ok {
 		return
 	}
 	cy.Exchanges++
-	peer := e.Node(target.ID)
-	if peer == nil || !peer.Alive {
-		cy.FailedExchanges++
-		cy.view.Remove(target.ID)
-		return
-	}
-	remote, ok := peer.Protocol(cy.Slot).(*Cyclon)
+	sent := subset(n.RNG, cy.view.Descriptors(), cy.L-1, target.ID)
+	sent = append(sent, Descriptor{ID: cy.self, Stamp: px.Cycle()})
+	px.Send(target.ID, cy.Slot, shuffleReq{Sent: sent})
+}
+
+// Receive implements sim.Receiver: answer the shuffle with L of the
+// receiver's own descriptors (never including the initiator), then settle
+// both sides — each discards what it sent and merges what it received, the
+// initiator additionally replacing the target's entry with the reply.
+func (cy *Cyclon) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	req, ok := msg.Data.(shuffleReq)
 	if !ok {
 		return
 	}
-	now := e.Cycle()
-
-	// Initiator sends L-1 random descriptors plus a fresh self-descriptor.
-	sent := subset(n.RNG, cy.view.Descriptors(), cy.L-1, target.ID)
-	sent = append(sent, Descriptor{ID: cy.self, Stamp: now})
-	// The peer answers with L of its own (never including the initiator).
-	reply := subset(peer.RNG, remote.view.Descriptors(), cy.L, cy.self)
-
-	// Each side discards what it sent and merges what it received. The
-	// initiator also discards the target's entry (replaced by the reply).
-	cy.view.Remove(target.ID)
-	for _, d := range sent {
-		if d.ID != cy.self {
-			cy.view.Remove(d.ID)
-		}
-	}
-	cy.view.Merge(cy.self, reply)
+	reply := subset(n.RNG, cy.view.Descriptors(), cy.L, msg.From)
 
 	for _, d := range reply {
-		remote.view.Remove(d.ID)
+		cy.view.Remove(d.ID)
 	}
-	remote.view.Merge(remote.self, sent)
+	cy.view.Merge(cy.self, req.Sent)
+
+	if peer := e.Node(msg.From); peer != nil && peer.Alive {
+		if remote, ok := peer.Protocol(msg.Slot).(*Cyclon); ok {
+			remote.view.Remove(cy.self)
+			for _, d := range req.Sent {
+				if d.ID != remote.self {
+					remote.view.Remove(d.ID)
+				}
+			}
+			remote.view.Merge(remote.self, reply)
+		}
+	}
+}
+
+// Undelivered implements sim.Undeliverable: the oldest neighbor was dead —
+// exactly the case Cyclon's oldest-first policy is designed to flush.
+func (cy *Cyclon) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	cy.FailedExchanges++
+	cy.view.Remove(msg.To)
 }
 
 // InitCyclon wires Cyclon into protocol slot `slot` of every live node,

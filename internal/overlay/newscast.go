@@ -43,6 +43,15 @@ type Newscast struct {
 	FailedExchanges int64
 }
 
+// Compile-time guards: sim.Protocol is untyped, so assert the two-phase
+// contracts explicitly — a signature drift must fail the build, not turn
+// the protocol into a silent no-op.
+var (
+	_ sim.Proposer      = (*Newscast)(nil)
+	_ sim.Receiver      = (*Newscast)(nil)
+	_ sim.Undeliverable = (*Newscast)(nil)
+)
+
 // NewNewscast creates the Newscast instance for the given node.
 func NewNewscast(self sim.NodeID, c, slot int) *Newscast {
 	return &Newscast{C: c, Slot: slot, self: self, view: NewView(c)}
@@ -73,33 +82,52 @@ func (nc *Newscast) Bootstrap(peers []sim.NodeID) {
 	nc.view.Merge(nc.self, batch)
 }
 
-// NextCycle implements sim.Protocol: one Newscast exchange.
-func (nc *Newscast) NextCycle(n *sim.Node, e *sim.Engine) {
+// viewSwap is Newscast's proposed exchange: the initiator's view snapshot
+// plus the logical time of the cycle, delivered to the chosen partner.
+type viewSwap struct {
+	Descs []Descriptor
+	Stamp int64
+}
+
+// Propose implements sim.Proposer: pick a partner from the node's own view
+// and propose a symmetric view exchange. Only the node's own state is
+// touched — the swap itself happens in Receive during the apply phase.
+func (nc *Newscast) Propose(n *sim.Node, px *sim.Proposals) {
 	peerID, ok := nc.SamplePeer(n.RNG)
 	if !ok {
 		return
 	}
 	nc.Exchanges++
-	now := e.Cycle()
-	peer := e.Node(peerID)
-	if peer == nil || !peer.Alive {
-		// The partner crashed: the exchange is simply lost. Drop the dead
-		// descriptor locally so repeated failures do not pin the view.
-		nc.FailedExchanges++
-		nc.view.Remove(peerID)
+	px.Send(peerID, nc.Slot, viewSwap{Descs: nc.view.Descriptors(), Stamp: px.Cycle()})
+}
+
+// Receive implements sim.Receiver: complete the push-pull exchange. The
+// receiver merges the initiator's snapshot plus both fresh
+// self-descriptors, and replies by merging its own (pre-merge) view back
+// into the initiator — the same symmetric outcome as an inline exchange.
+func (nc *Newscast) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	sw, ok := msg.Data.(viewSwap)
+	if !ok {
 		return
 	}
-	remote := peer.Protocol(nc.Slot).(*Newscast)
-
-	// Snapshot both views, then merge symmetrically with fresh
-	// self-descriptors (push-pull exchange).
 	mine := nc.view.Descriptors()
-	theirs := remote.view.Descriptors()
-	myDesc := Descriptor{ID: nc.self, Stamp: now}
-	peerDesc := Descriptor{ID: remote.self, Stamp: now}
+	myDesc := Descriptor{ID: nc.self, Stamp: sw.Stamp}
+	peerDesc := Descriptor{ID: msg.From, Stamp: sw.Stamp}
 
-	nc.view.Merge(nc.self, append(append(theirs, peerDesc), myDesc))
-	remote.view.Merge(remote.self, append(append(mine, myDesc), peerDesc))
+	nc.view.Merge(nc.self, append(append(sw.Descs, peerDesc), myDesc))
+	if peer := e.Node(msg.From); peer != nil && peer.Alive {
+		if remote, ok := peer.Protocol(msg.Slot).(*Newscast); ok {
+			remote.view.Merge(remote.self, append(append(mine, myDesc), peerDesc))
+		}
+	}
+}
+
+// Undelivered implements sim.Undeliverable: the partner crashed, so the
+// exchange is simply lost. Drop the dead descriptor locally so repeated
+// failures do not pin the view.
+func (nc *Newscast) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	nc.FailedExchanges++
+	nc.view.Remove(msg.To)
 }
 
 // InitNewscast wires a Newscast instance into protocol slot `slot` of every

@@ -8,12 +8,15 @@ import (
 // Static is a fixed-neighbor PeerSampler: the topology service reduced to a
 // static graph. The paper names several alternatives to peer sampling — a
 // mesh, a star for master-slave — which are all instances of Static with
-// different neighbor sets. Static implements sim.Protocol as a no-op so it
-// can occupy a protocol slot interchangeably with Newscast.
+// different neighbor sets. Static implements the protocol contract as a
+// no-op so it can occupy a protocol slot interchangeably with Newscast.
 type Static struct {
 	self  sim.NodeID
 	peers []sim.NodeID
 }
+
+// Compile-time guard for the two-phase contract (see Newscast's note).
+var _ sim.Proposer = (*Static)(nil)
 
 // NewStatic creates a static sampler for self with the given out-links.
 func NewStatic(self sim.NodeID, peers []sim.NodeID) *Static {
@@ -33,8 +36,10 @@ func (s *Static) Neighbors() []sim.NodeID {
 	return append([]sim.NodeID(nil), s.peers...)
 }
 
-// NextCycle implements sim.Protocol (static topologies need no maintenance).
-func (s *Static) NextCycle(*sim.Node, *sim.Engine) {}
+// Propose implements sim.Proposer as a no-op: static topologies need no
+// maintenance, and by speaking the two-phase contract they keep a node's
+// whole stack on the parallel propose path.
+func (s *Static) Propose(*sim.Node, *sim.Proposals) {}
 
 // Topology builds the out-link lists for n nodes (indexed 0..n-1).
 type Topology func(r *rng.RNG, n int) [][]int

@@ -93,8 +93,11 @@ func (t *TMan) closest() (sim.NodeID, bool) {
 	return t.peers[0], true // merge keeps peers sorted by distance
 }
 
-// NextCycle implements sim.Protocol: one T-Man exchange with the closest
-// neighbor, plus an optional random-descriptor injection from the
+// Compile-time guard: T-Man still speaks the sequential contract.
+var _ sim.CycleStepper = (*TMan)(nil)
+
+// NextCycle implements sim.CycleStepper: one T-Man exchange with the
+// closest neighbor, plus an optional random-descriptor injection from the
 // underlying peer-sampling layer.
 func (t *TMan) NextCycle(n *sim.Node, e *sim.Engine) {
 	// Inject a random peer to maintain global connectivity.

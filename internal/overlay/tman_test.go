@@ -25,7 +25,9 @@ func TestRingDistance(t *testing.T) {
 func TestTManConvergesToRing(t *testing.T) {
 	const n = 64
 	e := buildTManNet(1, n, 4)
-	e.Run(30)
+	// Two-phase exchanges land at end of cycle (one hop per cycle), so the
+	// ring needs roughly twice the cycles of the old inline engine.
+	e.Run(60)
 	// After convergence every node's two closest T-Man neighbors must be
 	// its actual ring successors/predecessors (distance 1).
 	perfect := 0

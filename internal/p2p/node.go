@@ -120,11 +120,13 @@ func Start(cfg NodeConfig) (*Node, error) {
 	r := rng.New(seed)
 	mk := cfg.SolverFactory
 	if mk == nil {
-		mk = func(f funcs.Function, dim int, r *rng.RNG) solver.Solver {
+		mk = func(f funcs.Function, dim int, _ int64, r *rng.RNG) solver.Solver {
 			return pso.New(f, dim, cfg.Particles, cfg.PSO, r)
 		}
 	}
-	n.solver = mk(cfg.Function, cfg.Dim, r)
+	// A TCP node's identity is its address; the seed derived from it
+	// doubles as the factory's node id.
+	n.solver = mk(cfg.Function, cfg.Dim, int64(seed), r)
 
 	now := time.Now().UnixNano()
 	boot := make([]Descriptor, 0, len(cfg.Bootstrap))

@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // ChurnModel mutates the node population at the start of each cycle. The
 // paper's scenario is an organization's desktop pool where "nodes may join
 // and leave the system at will"; these models reproduce that behaviour in
@@ -96,16 +98,23 @@ func (c *SessionChurn) Apply(e *Engine) {
 			c.deaths[n.ID] = now + life
 		}
 	}
-	// Crash expired sessions and schedule replacements.
+	// Crash expired sessions and schedule replacements. Expired IDs are
+	// collected and sorted first: ranging the map directly would assign
+	// the downtime draws to nodes in a different order every run.
+	var expired []NodeID
 	for id, at := range c.deaths {
 		if at <= now {
-			if n := e.Node(id); n != nil && n.Alive {
-				e.Crash(id)
-				down := int64(e.rng.ExpFloat64() * c.MeanDowntime)
-				c.joins = append(c.joins, now+down)
-			}
-			delete(c.deaths, id)
+			expired = append(expired, id)
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		if n := e.Node(id); n != nil && n.Alive {
+			e.Crash(id)
+			down := int64(e.rng.ExpFloat64() * c.MeanDowntime)
+			c.joins = append(c.joins, now+down)
+		}
+		delete(c.deaths, id)
 	}
 	// Execute due joins.
 	rest := c.joins[:0]

@@ -1,0 +1,99 @@
+package sim
+
+// The two-phase exchange model.
+//
+// Engine.RunCycle executes each cycle in two phases:
+//
+//   - Phase 1 (parallel propose): live nodes are partitioned into
+//     contiguous shards, one per worker. Each worker steps its nodes'
+//     protocols; a protocol implementing Proposer performs its node-local
+//     work (solver evaluation, timer bookkeeping, sampling a partner from
+//     its own view) and *proposes* exchanges by posting Messages through
+//     Proposals. During this phase a protocol may only read and write the
+//     state of its own node — never a peer's — which is what makes the
+//     phase safe to run on concurrent workers.
+//
+//   - Phase 2 (deterministic apply): the per-worker outboxes are
+//     concatenated in shard order (= sender-ID order, independent of the
+//     worker count), shuffled into a seed-derived canonical order with the
+//     engine RNG, and delivered one at a time on the coordinator
+//     goroutine. A receiving protocol (Receiver) may mutate any node's
+//     state, including replying into the initiator's — apply is
+//     sequential, so there are no races and the outcome depends only on
+//     the canonical order.
+//
+// Because every phase-1 draw comes from the stepped node's private RNG and
+// every phase-2 draw happens in canonical order on the coordinator, a run's
+// trace is bit-identical for any worker count, workers=1 included.
+//
+// Protocols that predate the exchange model keep working: anything
+// implementing only CycleStepper is stepped sequentially between the two
+// phases, in a freshly shuffled order, exactly like the historical
+// sequential engine.
+
+// Message is one proposed exchange: a payload traveling from the proposing
+// node to a peer's protocol slot, delivered during the apply phase.
+type Message struct {
+	// From is the proposing node; To is the destination node.
+	From, To NodeID
+	// Slot is the protocol slot addressed on the destination node. All
+	// bundled protocols are symmetric (Newscast talks to Newscast, OptNode
+	// to OptNode), so Slot also locates the sender's own instance when a
+	// failure must be reported back.
+	Slot int
+	// Data is the protocol-specific payload. Ownership transfers to the
+	// receiver: proposers must not retain or mutate it after Send.
+	Data any
+}
+
+// Proposer is the phase-1 contract of the two-phase exchange model.
+// Propose performs the node's local work for the cycle and posts exchange
+// proposals. It runs concurrently with other nodes' Propose calls and must
+// only touch n's own state (its protocols, its RNG) and px.
+type Proposer interface {
+	Propose(n *Node, px *Proposals)
+}
+
+// Receiver is the phase-2 contract: Receive handles one delivered message.
+// It runs sequentially on the coordinator and may mutate any node,
+// typically its own state plus a symmetric reply into the sender's.
+type Receiver interface {
+	Receive(n *Node, e *Engine, msg Message)
+}
+
+// Undeliverable is implemented by protocols that want failure feedback:
+// Undelivered is invoked on the *sender's* protocol instance when the
+// destination node is dead or gone at delivery time (n is the sender).
+type Undeliverable interface {
+	Undelivered(n *Node, e *Engine, msg Message)
+}
+
+// Proposals is a worker-local outbox handed to Propose. It also aggregates
+// per-worker bookkeeping (function-evaluation counts) so phase 1 needs no
+// shared atomics.
+type Proposals struct {
+	cycle int64
+	from  NodeID
+	msgs  []Message
+	evals int64
+}
+
+// Cycle returns the number of completed cycles, i.e. the logical timestamp
+// of the cycle being proposed.
+func (px *Proposals) Cycle() int64 { return px.cycle }
+
+// Send proposes an exchange: data will be delivered to the given protocol
+// slot of node `to` during the apply phase. Ownership of data (and any
+// slices inside it) transfers to the receiver. A node's own messages keep
+// their proposal order within the outbox; across nodes the engine imposes
+// the canonical order.
+func (px *Proposals) Send(to NodeID, slot int, data any) {
+	px.msgs = append(px.msgs, Message{From: px.from, To: to, Slot: slot, Data: data})
+}
+
+// CountEvals adds k objective evaluations to the engine's global counter
+// (aggregated race-free at the phase barrier; see Engine.Evals).
+func (px *Proposals) CountEvals(k int64) { px.evals += k }
+
+// begin readies the outbox for the next node of the worker's shard.
+func (px *Proposals) begin(id NodeID) { px.from = id }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+)
+
+// pingProto is a minimal two-phase protocol: every cycle each node
+// proposes a ping to (id+1) mod n; receivers count pings and remember the
+// order of senders; undeliverable pings are counted by the sender.
+type pingProto struct {
+	next NodeID
+
+	sent, got, failed int
+	fromOrder         []NodeID
+}
+
+func (p *pingProto) Propose(n *Node, px *Proposals) {
+	p.sent++
+	px.Send(p.next, 0, "ping")
+}
+
+func (p *pingProto) Receive(n *Node, e *Engine, msg Message) {
+	p.got++
+	p.fromOrder = append(p.fromOrder, msg.From)
+}
+
+func (p *pingProto) Undelivered(n *Node, e *Engine, msg Message) { p.failed++ }
+
+func buildPingRing(seed uint64, n, workers int) (*Engine, []*pingProto) {
+	e := NewEngine(seed)
+	e.SetWorkers(workers)
+	protos := make([]*pingProto, 0, n)
+	e.SetNodeFactory(func(nd *Node) {
+		p := &pingProto{next: NodeID((int64(nd.ID) + 1) % int64(n))}
+		protos = append(protos, p)
+		nd.Protocols = []Protocol{p}
+	})
+	e.AddNodes(n)
+	return e, protos
+}
+
+func TestProposalsDeliveredToReceiver(t *testing.T) {
+	e, protos := buildPingRing(1, 10, 1)
+	e.Run(5)
+	for i, p := range protos {
+		if p.sent != 5 || p.got != 5 || p.failed != 0 {
+			t.Fatalf("node %d: sent=%d got=%d failed=%d, want 5/5/0", i, p.sent, p.got, p.failed)
+		}
+	}
+}
+
+func TestUndeliverableFeedback(t *testing.T) {
+	e, protos := buildPingRing(2, 4, 1)
+	e.Crash(1)
+	e.Run(3)
+	// Node 0 pings dead node 1: every attempt must come back as a failure
+	// (it still receives node 3's pings normally).
+	if protos[0].failed != 3 || protos[0].got != 3 {
+		t.Fatalf("sender to dead peer: failed=%d got=%d, want 3/3", protos[0].failed, protos[0].got)
+	}
+	// Node 1 is dead: it neither proposes nor receives.
+	if protos[1].sent != 0 || protos[1].got != 0 {
+		t.Fatalf("dead node acted: sent=%d got=%d", protos[1].sent, protos[1].got)
+	}
+	// Node 2 still receives from node 1? No — 1 is dead; 2 gets nothing.
+	if protos[2].got != 0 {
+		t.Fatalf("node 2 received %d pings from dead node 1", protos[2].got)
+	}
+}
+
+// TestApplyOrderWorkerInvariant is the heart of the determinism story: the
+// canonical delivery order (observed through each receiver's fromOrder)
+// must be bit-identical for every worker count.
+func TestApplyOrderWorkerInvariant(t *testing.T) {
+	trace := func(workers int) [][]NodeID {
+		e, protos := buildPingRing(7, 64, workers)
+		e.SetChurn(&RateChurn{CrashProb: 0.05, JoinPerCycle: 1, MinLive: 4})
+		e.Run(20)
+		out := make([][]NodeID, len(protos))
+		for i, p := range protos {
+			out[i] = p.fromOrder
+		}
+		return out
+	}
+	want := trace(1)
+	for _, w := range []int{2, 4, 8} {
+		got := trace(w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d nodes, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d node %d: %d deliveries, want %d", w, i, len(got[i]), len(want[i]))
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("workers=%d node %d delivery %d: from %d, want %d", w, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// mixedProto pairs a Proposer with a legacy CycleStepper on the same node
+// and records the phase interleaving.
+type phaseLog struct {
+	events *[]string
+}
+
+type proposerProto struct{ log *phaseLog }
+
+func (p *proposerProto) Propose(n *Node, px *Proposals) {
+	*p.log.events = append(*p.log.events, "propose")
+	px.Send(n.ID, 0, "self")
+}
+
+func (p *proposerProto) Receive(n *Node, e *Engine, msg Message) {
+	*p.log.events = append(*p.log.events, "apply")
+}
+
+type legacyProto struct{ log *phaseLog }
+
+func (l *legacyProto) NextCycle(n *Node, e *Engine) {
+	*l.log.events = append(*l.log.events, "legacy")
+}
+
+// TestPhaseOrdering: propose happens first, then the legacy sequential
+// step, then apply — so legacy protocols observe pre-exchange state.
+func TestPhaseOrdering(t *testing.T) {
+	var events []string
+	log := &phaseLog{events: &events}
+	e := NewEngine(3)
+	n := e.AddNode()
+	n.Protocols = []Protocol{&proposerProto{log: log}, &legacyProto{log: log}}
+	e.RunCycle()
+	want := []string{"propose", "legacy", "apply"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}
+
+// TestEngineEvalCounter: Proposals.CountEvals aggregates into Engine.Evals
+// across workers and cycles.
+func TestEngineEvalCounter(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(4)
+		e.SetWorkers(workers)
+		e.SetNodeFactory(func(nd *Node) {
+			nd.Protocols = []Protocol{evalCounterProto{}}
+		})
+		e.AddNodes(30)
+		e.Crash(5)
+		e.Run(10)
+		// 29 live nodes × 10 cycles × 1 eval.
+		if got := e.Evals(); got != 290 {
+			t.Fatalf("workers=%d: Evals = %d, want 290", workers, got)
+		}
+	}
+}
+
+type evalCounterProto struct{}
+
+func (evalCounterProto) Propose(n *Node, px *Proposals) { px.CountEvals(1) }
+
+// TestLiveCountMaintained: the O(1) counter must agree with a full scan
+// through arbitrary Crash/Revive/churn sequences.
+func TestLiveCountMaintained(t *testing.T) {
+	e, _ := newCountingEngine(5, 50)
+	scan := func() int {
+		c := 0
+		for _, n := range e.AllNodes() {
+			if n.Alive {
+				c++
+			}
+		}
+		return c
+	}
+	check := func(at string) {
+		if e.LiveCount() != scan() {
+			t.Fatalf("%s: LiveCount=%d scan=%d", at, e.LiveCount(), scan())
+		}
+	}
+	check("init")
+	e.Crash(3)
+	e.Crash(3) // double crash must not double-decrement
+	check("crash")
+	e.Revive(3)
+	e.Revive(3) // double revive must not double-increment
+	check("revive")
+	e.Crash(999) // unknown ID is a no-op
+	check("unknown")
+	e.SetChurn(&RateChurn{CrashProb: 0.1, JoinPerCycle: 1.5, MinLive: 5})
+	e.Run(30)
+	check("churn")
+}

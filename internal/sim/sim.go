@@ -3,19 +3,25 @@
 // execution models:
 //
 //   - a cycle-driven engine (Engine): in each cycle every live node's
-//     protocols are stepped once, in a freshly shuffled order, exactly like
-//     PeerSim's CDSimulator. This is what the paper's experiments use.
+//     protocols are stepped once, like PeerSim's CDSimulator but with a
+//     two-phase exchange model (see exchange.go) that shards the
+//     node-local work across worker goroutines and applies all proposed
+//     exchanges in a seed-derived canonical order. This is what the
+//     paper's experiments use.
 //   - an event-driven engine (EventEngine, see events.go): a time-ordered
 //     event heap with configurable link latency and message loss, for
 //     experiments where asynchrony matters.
 //
 // Determinism: given the same seed, node count and protocol stack, a run
-// produces the identical trace. Each node owns a split RNG stream so that
-// adding observers or reordering unrelated code does not perturb results.
+// produces the identical trace — for any worker count, workers=1 included.
+// Each node owns a split RNG stream so that adding observers or reordering
+// unrelated code does not perturb results, and so that stepping nodes on
+// parallel workers neither races nor changes the per-node draw sequence.
 package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"gossipopt/internal/rng"
 )
@@ -25,8 +31,29 @@ import (
 type NodeID int64
 
 // Protocol is one layer of a node's protocol stack in the cycle-driven
-// model. NextCycle is invoked once per cycle per live node.
-type Protocol interface {
+// model. An implementation provides at least one execution contract:
+//
+//   - Proposer (and usually Receiver/Undeliverable): the two-phase
+//     exchange model of exchange.go — node-local work on parallel
+//     workers, exchanges applied deterministically afterwards;
+//   - CycleStepper: the historical sequential contract — stepped one node
+//     at a time in a shuffled order and free to mutate peers directly.
+//
+// A protocol implementing both is driven through the Proposer contract.
+//
+// Protocol is intentionally untyped (a slot may hold either contract), so
+// a drifted method signature compiles and the engine silently skips the
+// protocol. Guard against that with a compile-time assertion next to every
+// implementation, as the bundled protocols do:
+//
+//	var _ sim.Proposer = (*MyProto)(nil) // or sim.CycleStepper
+type Protocol interface{}
+
+// CycleStepper is the sequential protocol contract: NextCycle is invoked
+// once per cycle per live node, in a freshly shuffled order, and may reach
+// into peer state directly. Protocols that implement Proposer instead are
+// stepped on parallel workers and scale with Engine.SetWorkers.
+type CycleStepper interface {
 	NextCycle(n *Node, e *Engine)
 }
 
@@ -49,10 +76,21 @@ func (n *Node) Protocol(slot int) Protocol { return n.Protocols[slot] }
 type Engine struct {
 	rng   *rng.RNG
 	nodes map[NodeID]*Node
-	// order caches live node IDs for shuffled iteration.
+	// order caches node IDs in creation (= ID) order for iteration.
 	order  []NodeID
 	nextID NodeID
 	cycle  int64
+
+	// live is the maintained count of live nodes (kept by AddNode, Crash
+	// and Revive so LiveCount is O(1); churn models call it per node).
+	live int
+	// evals is the maintained count of objective evaluations, fed by
+	// Proposals.CountEvals at each cycle's phase barrier so budget checks
+	// are O(1) instead of an O(n) scan per cycle.
+	evals int64
+
+	// workers is the phase-1 parallelism (see SetWorkers).
+	workers int
 
 	// churn, when non-nil, is applied at the start of every cycle.
 	churn ChurnModel
@@ -61,6 +99,13 @@ type Engine struct {
 
 	// observers run after every cycle.
 	observers []Observer
+
+	// scratch buffers reused across cycles.
+	liveScratch   []*Node
+	legacyScratch []*Node
+	msgScratch    []Message
+	outScratch    []Proposals
+	legacyParts   [][]*Node
 }
 
 // Observer inspects the network after each cycle; returning false stops the
@@ -71,8 +116,9 @@ type Observer func(e *Engine) bool
 // NewEngine creates an empty engine with a deterministic RNG stream.
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
-		rng:   rng.New(seed),
-		nodes: make(map[NodeID]*Node),
+		rng:     rng.New(seed),
+		nodes:   make(map[NodeID]*Node),
+		workers: 1,
 	}
 }
 
@@ -84,6 +130,29 @@ func (e *Engine) Cycle() int64 { return e.cycle }
 
 // SetChurn installs a churn model applied at the start of each cycle.
 func (e *Engine) SetChurn(c ChurnModel) { e.churn = c }
+
+// SetWorkers sets the number of goroutines stepping nodes during the
+// propose phase (values < 1 mean 1). The trace is bit-identical for every
+// worker count; workers only change wall-clock speed.
+func (e *Engine) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	e.workers = w
+}
+
+// Workers returns the configured propose-phase parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Evals returns the engine-maintained count of objective evaluations
+// (reported by protocols through Proposals.CountEvals). Evaluations of
+// since-crashed nodes remain counted. O(1).
+func (e *Engine) Evals() int64 { return e.evals }
+
+// CountEvals adds k evaluations to the engine counter. Setup code and
+// sequential (CycleStepper) protocols may call it directly; propose-phase
+// code must use Proposals.CountEvals instead.
+func (e *Engine) CountEvals(k int64) { e.evals += k }
 
 // SetNodeFactory installs the function used to populate the protocol stack
 // of nodes created by AddNode or by churn-driven joins.
@@ -106,6 +175,7 @@ func (e *Engine) AddNode() *Node {
 	}
 	e.nodes[n.ID] = n
 	e.order = append(e.order, n.ID)
+	e.live++
 	return n
 }
 
@@ -125,28 +195,24 @@ func (e *Engine) Node(id NodeID) *Node { return e.nodes[id] }
 // by RandomLiveNode. The node's state is retained so that rejoin semantics
 // can be modelled by the caller if desired.
 func (e *Engine) Crash(id NodeID) {
-	if n := e.nodes[id]; n != nil {
+	if n := e.nodes[id]; n != nil && n.Alive {
 		n.Alive = false
+		e.live--
 	}
 }
 
 // Revive marks a crashed node as live again.
 func (e *Engine) Revive(id NodeID) {
-	if n := e.nodes[id]; n != nil {
+	if n := e.nodes[id]; n != nil && !n.Alive {
 		n.Alive = true
+		e.live++
 	}
 }
 
-// LiveCount returns the number of live nodes.
-func (e *Engine) LiveCount() int {
-	c := 0
-	for _, n := range e.nodes {
-		if n.Alive {
-			c++
-		}
-	}
-	return c
-}
+// LiveCount returns the number of live nodes. O(1): the count is
+// maintained by AddNode/Crash/Revive, so per-node churn checks do not turn
+// a cycle quadratic.
+func (e *Engine) LiveCount() int { return e.live }
 
 // Size returns the total number of nodes ever created and not removed.
 func (e *Engine) Size() int { return len(e.nodes) }
@@ -199,29 +265,128 @@ func (e *Engine) RandomLiveNode(exclude NodeID) *Node {
 	return e.nodes[live[e.rng.Intn(len(live))]]
 }
 
-// RunCycle executes one cycle: churn, then every live node's protocol stack
-// in a shuffled order, then observers. It reports false if any observer
-// requested termination.
+// RunCycle executes one cycle of the two-phase exchange model: churn, the
+// parallel propose phase, the sequential legacy step, the deterministic
+// apply phase, then observers. It reports false if any observer requested
+// termination. See exchange.go for the model's contracts and the
+// determinism argument.
 func (e *Engine) RunCycle() bool {
 	if e.churn != nil {
 		e.churn.Apply(e)
 	}
-	ids := make([]NodeID, 0, len(e.order))
+
+	// Snapshot the live population; churn is done for this cycle, so the
+	// set is stable through both phases (legacy protocols may still crash
+	// nodes mid-cycle — apply re-checks aliveness).
+	live := e.liveScratch[:0]
 	for _, id := range e.order {
 		if n := e.nodes[id]; n != nil && n.Alive {
-			ids = append(ids, id)
+			live = append(live, n)
 		}
 	}
-	e.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	for _, id := range ids {
-		n := e.nodes[id]
-		if n == nil || !n.Alive {
-			continue // may have crashed mid-cycle via protocol action
-		}
-		for _, p := range n.Protocols {
-			p.NextCycle(n, e)
+	e.liveScratch = live
+
+	// Phase 1: parallel propose over contiguous shards. Each worker owns
+	// its shard's nodes and a private outbox; concatenating the outboxes
+	// in shard order yields the messages in sender-ID order no matter how
+	// many workers ran.
+	workers := e.workers
+	if workers > len(live) {
+		workers = len(live)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if cap(e.outScratch) < workers {
+		e.outScratch = make([]Proposals, workers)
+		e.legacyParts = make([][]*Node, workers)
+	}
+	outs := e.outScratch[:workers]
+	legacies := e.legacyParts[:workers]
+	for w := range outs {
+		outs[w].msgs = outs[w].msgs[:0]
+		outs[w].evals = 0
+		legacies[w] = legacies[w][:0]
+	}
+	shard := func(w int) {
+		px := &outs[w]
+		px.cycle = e.cycle
+		lo, hi := w*len(live)/workers, (w+1)*len(live)/workers
+		for _, n := range live[lo:hi] {
+			px.begin(n.ID)
+			hasLegacy := false
+			for _, p := range n.Protocols {
+				switch pr := p.(type) {
+				case Proposer:
+					pr.Propose(n, px)
+				case CycleStepper:
+					hasLegacy = true
+				}
+			}
+			if hasLegacy {
+				legacies[w] = append(legacies[w], n)
+			}
 		}
 	}
+	if workers == 1 {
+		shard(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				shard(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for w := range outs {
+		e.evals += outs[w].evals
+	}
+
+	// Sequential step for protocols predating the exchange model, in a
+	// freshly shuffled order — the historical engine's exact semantics.
+	legacy := e.legacyScratch[:0]
+	for _, part := range legacies {
+		legacy = append(legacy, part...)
+	}
+	e.legacyScratch = legacy
+	if len(legacy) > 0 {
+		e.rng.Shuffle(len(legacy), func(i, j int) { legacy[i], legacy[j] = legacy[j], legacy[i] })
+		for _, n := range legacy {
+			if !n.Alive {
+				continue // may have crashed mid-cycle via protocol action
+			}
+			for _, p := range n.Protocols {
+				if cs, ok := p.(CycleStepper); ok {
+					if _, par := p.(Proposer); !par {
+						cs.NextCycle(n, e)
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: deterministic apply. Concatenate outboxes (sender-ID
+	// order), shuffle into the cycle's canonical delivery order with the
+	// engine RNG, then deliver sequentially.
+	msgs := e.msgScratch[:0]
+	for w := range outs {
+		msgs = append(msgs, outs[w].msgs...)
+	}
+	e.msgScratch = msgs
+	e.rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+	for i := range msgs {
+		e.deliver(msgs[i])
+		msgs[i].Data = nil // release payload references for reuse
+	}
+	for w := range outs {
+		for i := range outs[w].msgs {
+			outs[w].msgs[i].Data = nil // ditto for the reused outboxes
+		}
+	}
+
 	e.cycle++
 	cont := true
 	for _, o := range e.observers {
@@ -230,6 +395,30 @@ func (e *Engine) RunCycle() bool {
 		}
 	}
 	return cont
+}
+
+// deliver routes one message: to the destination's Receiver when the
+// destination is alive, otherwise back to the sender's Undeliverable hook
+// (the failure feedback a real initiator would get from a timed-out
+// connection).
+func (e *Engine) deliver(m Message) {
+	dst := e.nodes[m.To]
+	if dst == nil || !dst.Alive {
+		src := e.nodes[m.From]
+		if src == nil || m.Slot >= len(src.Protocols) {
+			return
+		}
+		if u, ok := src.Protocols[m.Slot].(Undeliverable); ok {
+			u.Undelivered(src, e, m)
+		}
+		return
+	}
+	if m.Slot >= len(dst.Protocols) {
+		return
+	}
+	if r, ok := dst.Protocols[m.Slot].(Receiver); ok {
+		r.Receive(dst, e, m)
+	}
 }
 
 // Run executes up to maxCycles cycles, stopping early if an observer
@@ -246,5 +435,5 @@ func (e *Engine) Run(maxCycles int64) int64 {
 
 // String summarizes the engine state.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{cycle=%d nodes=%d live=%d}", e.cycle, e.Size(), e.LiveCount())
+	return fmt.Sprintf("sim.Engine{cycle=%d nodes=%d live=%d workers=%d}", e.cycle, e.Size(), e.LiveCount(), e.workers)
 }

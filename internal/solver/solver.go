@@ -36,8 +36,12 @@ type Solver interface {
 
 // Factory builds a fresh solver for a node. Experiments pass factories so
 // every simulated node gets an independent solver fed by its own RNG
-// stream.
-type Factory func(f funcs.Function, dim int, r *rng.RNG) Solver
+// stream. The id is the node's stable identifier (its simulated NodeID, or
+// 0 when there is no meaningful one): factories that vary per node — mixed
+// deployments, search-space partitioning — key their choice off it, which
+// keeps them deterministic and race-free when nodes are built on parallel
+// workers (a shared round-robin counter would be neither).
+type Factory func(f funcs.Function, dim int, id int64, r *rng.RNG) Solver
 
 // Run drives s until budget evaluations are spent or the best fitness
 // reaches threshold (negative disables). It returns the evaluations spent.

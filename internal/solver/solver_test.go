@@ -12,16 +12,16 @@ import (
 // all solver constructors under test, as factories.
 func factories() map[string]Factory {
 	return map[string]Factory{
-		"random": func(f funcs.Function, dim int, r *rng.RNG) Solver {
+		"random": func(f funcs.Function, dim int, _ int64, r *rng.RNG) Solver {
 			return NewRandomSearch(f, dim, r)
 		},
-		"de": func(f funcs.Function, dim int, r *rng.RNG) Solver {
+		"de": func(f funcs.Function, dim int, _ int64, r *rng.RNG) Solver {
 			return NewDE(f, dim, 20, r)
 		},
-		"sa": func(f funcs.Function, dim int, r *rng.RNG) Solver {
+		"sa": func(f funcs.Function, dim int, _ int64, r *rng.RNG) Solver {
 			return NewSA(f, dim, r)
 		},
-		"es": func(f funcs.Function, dim int, r *rng.RNG) Solver {
+		"es": func(f funcs.Function, dim int, _ int64, r *rng.RNG) Solver {
 			return NewES(f, dim, r)
 		},
 	}
@@ -29,7 +29,7 @@ func factories() map[string]Factory {
 
 func TestEvalAccounting(t *testing.T) {
 	for name, mk := range factories() {
-		s := mk(funcs.Sphere, 10, rng.New(1))
+		s := mk(funcs.Sphere, 10, 0, rng.New(1))
 		for i := 0; i < 57; i++ {
 			s.EvalOne()
 		}
@@ -41,7 +41,7 @@ func TestEvalAccounting(t *testing.T) {
 
 func TestBestMonotone(t *testing.T) {
 	for name, mk := range factories() {
-		s := mk(funcs.Rastrigin, 10, rng.New(2))
+		s := mk(funcs.Rastrigin, 10, 0, rng.New(2))
 		prev := math.Inf(1)
 		for i := 0; i < 3000; i++ {
 			s.EvalOne()
@@ -56,7 +56,7 @@ func TestBestMonotone(t *testing.T) {
 
 func TestAllImproveOverInitial(t *testing.T) {
 	for name, mk := range factories() {
-		s := mk(funcs.Sphere, 10, rng.New(3))
+		s := mk(funcs.Sphere, 10, 0, rng.New(3))
 		s.EvalOne()
 		_, first := s.Best()
 		Run(s, 5000, -1)
@@ -108,7 +108,7 @@ func TestRandomSearchBeatenByDE(t *testing.T) {
 func TestInjectSemanticsAll(t *testing.T) {
 	star := make([]float64, 10)
 	for name, mk := range factories() {
-		s := mk(funcs.Sphere, 10, rng.New(8))
+		s := mk(funcs.Sphere, 10, 0, rng.New(8))
 		Run(s, 200, -1)
 		if !s.Inject(star, 0) {
 			t.Errorf("%s: rejected perfect injection", name)
@@ -175,7 +175,7 @@ func TestSolversDeterministic(t *testing.T) {
 	for name, mk := range factories() {
 		name, mk := name, mk
 		run := func(seed uint64) float64 {
-			s := mk(funcs.Griewank, 10, rng.New(seed))
+			s := mk(funcs.Griewank, 10, 0, rng.New(seed))
 			Run(s, 1000, -1)
 			_, f := s.Best()
 			return f
@@ -191,7 +191,7 @@ func TestSolversDeterministic(t *testing.T) {
 // Property: best fitness is always finite and >= 0 after at least one eval.
 func TestBestSound(t *testing.T) {
 	for name, mk := range factories() {
-		s := mk(funcs.Ackley, 10, rng.New(13))
+		s := mk(funcs.Ackley, 10, 0, rng.New(13))
 		Run(s, 500, -1)
 		if _, f := s.Best(); f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 			t.Errorf("%s: unsound best %v", name, f)
