@@ -17,6 +17,7 @@ import (
 	"gossipopt/internal/overlay"
 	"gossipopt/internal/pso"
 	"gossipopt/internal/rng"
+	"gossipopt/internal/scenario"
 	"gossipopt/internal/sim"
 )
 
@@ -196,6 +197,31 @@ func BenchmarkEngineWorkers(b *testing.B) {
 				net.Step()
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
+		})
+	}
+}
+
+// BenchmarkScenarioRun measures the declarative layer end to end: one
+// iteration runs a full built-in scenario campaign (spec compilation,
+// scripted events, metric sampling into a discard sink) on the cycle and
+// event engines. The scenario layer should add only negligible overhead on
+// top of the raw engines.
+func BenchmarkScenarioRun(b *testing.B) {
+	for _, name := range []string{"netsplit-heal", "lossy-wan"} {
+		spec, ok := scenario.Builtin(name)
+		if !ok {
+			b.Fatalf("builtin %q missing", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				sums, err := scenario.Run(spec, scenario.Options{Workers: 4}, exp.DiscardSink{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals += sums[0].Evals
+			}
+			b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
 		})
 	}
 }

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossipopt/internal/scenario"
+)
+
+// runCmd invokes run with captured output streams.
+func runCmd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	err := run(args, &out, &errOut)
+	return out.String(), errOut.String(), err
+}
+
+func TestListNamesEveryBuiltin(t *testing.T) {
+	out, _, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.BuiltinNames() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownScenarioListsAvailableNames(t *testing.T) {
+	_, _, err := runCmd(t, "-run", "no-such-scenario")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, name := range []string{"baseline", "netsplit-heal", "lossy-wan"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error does not list %q: %v", name, err)
+		}
+	}
+}
+
+// TestEveryBuiltinRuns drives each built-in through the real CLI path.
+func TestEveryBuiltinRuns(t *testing.T) {
+	for _, name := range scenario.BuiltinNames() {
+		out, errOut, err := runCmd(t, "-run", name, "-workers", "2")
+		if err != nil {
+			t.Fatalf("scenario %q failed: %v", name, err)
+		}
+		if !strings.HasPrefix(out, "scenario,rep,seed,") {
+			t.Fatalf("scenario %q: no CSV header:\n%s", name, out)
+		}
+		if !strings.Contains(errOut, "rep 0:") {
+			t.Fatalf("scenario %q: no summary line:\n%s", name, errOut)
+		}
+	}
+}
+
+// Spec parse failures and flag errors exit with status 2: run must return
+// an error that main maps to os.Exit(2) (every non-help error does).
+func TestBadSpecFileIsAnError(t *testing.T) {
+	_, _, err := runCmd(t, "-spec", filepath.Join("testdata", "bad.json"))
+	if err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if !strings.Contains(err.Error(), "nodez") {
+		t.Fatalf("error should name the unknown field: %v", err)
+	}
+}
+
+// TestValidSpecFileRuns covers the full -spec path with a good file on
+// each engine — guarding against normalize-twice regressions that the
+// built-in path (which skips Parse) cannot catch.
+func TestValidSpecFileRuns(t *testing.T) {
+	for label, raw := range map[string]string{
+		"cycle": `{"name":"file-cycle","nodes":8,"stack":{"particles":4},
+			"timeline":[{"at":2,"action":"partition","groups":2},{"at":4,"action":"heal"}],
+			"metrics_every":5,"stop":{"cycles":10}}`,
+		"event": `{"name":"file-event","engine":"event","nodes":4,"stack":{"particles":4},
+			"timeline":[{"at":5,"action":"set-link","link":{"min_delay":1,"max_delay":2}}],
+			"metrics_every":10,"stop":{"time":20}}`,
+	} {
+		path := filepath.Join(t.TempDir(), "s.json")
+		if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := runCmd(t, "-spec", path, "-reps", "2")
+		if err != nil {
+			t.Fatalf("%s spec file failed: %v", label, err)
+		}
+		if strings.Count(out, "\n") < 3 {
+			t.Fatalf("%s spec produced almost no metrics:\n%s", label, out)
+		}
+	}
+}
+
+func TestBadFlagsError(t *testing.T) {
+	_, _, err := runCmd(t, "-definitely-not-a-flag")
+	if !errors.Is(err, errBadFlags) {
+		t.Fatalf("bad flag returned %v, want errBadFlags", err)
+	}
+	_, _, err = runCmd(t) // no -run/-spec/-list
+	if !errors.Is(err, errBadFlags) {
+		t.Fatalf("missing mode returned %v, want errBadFlags", err)
+	}
+	_, _, err = runCmd(t, "-run", "baseline", "-format", "xml")
+	if err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestShowEmitsRunnableSpec(t *testing.T) {
+	out, _, err := runCmd(t, "-show", "netsplit-heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.Parse([]byte(out)); err != nil {
+		t.Fatalf("-show output is not a parseable spec: %v\n%s", err, out)
+	}
+}
+
+// TestGoldenDeterminism pins the exact bytes of a built-in campaign: any
+// drift in engine scheduling, RNG use, or metric formatting fails here.
+func TestGoldenDeterminism(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "baseline.golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCmd(t, "-run", "baseline", "-reps", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("baseline campaign drifted from golden file:\n--- got ---\n%s--- want ---\n%s", out, golden)
+	}
+}
+
+// TestWorkerCountInvariance is the acceptance-criteria assertion: the same
+// spec + seed yields byte-identical metric output across -workers 1 and
+// -workers 8, for a scenario exercising partitions and for an event-driven
+// one.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, name := range []string{"netsplit-heal", "flash-churn", "lossy-wan"} {
+		render := func(workers string) string {
+			out, _, err := runCmd(t, "-run", name, "-reps", "2", "-workers", workers)
+			if err != nil {
+				t.Fatalf("scenario %q workers=%s: %v", name, workers, err)
+			}
+			return out
+		}
+		if one, eight := render("1"), render("8"); one != eight {
+			t.Fatalf("scenario %q: output differs between -workers 1 and -workers 8", name)
+		}
+	}
+}
+
+func TestOutputFileAndJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	_, _, err := runCmd(t, "-run", "baseline", "-format", "jsonl", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"scenario":"baseline"`) {
+		t.Fatalf("jsonl file wrong:\n%s", data)
+	}
+}
+
+func TestSeedOverrideChangesOutput(t *testing.T) {
+	a, _, err := runCmd(t, "-run", "baseline", "-seed", "100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCmd(t, "-run", "baseline", "-seed", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different -seed values produced identical output")
+	}
+}

@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"gossipopt"
 	"gossipopt/internal/sim"
@@ -15,7 +17,7 @@ import (
 
 // deskPool models continuous background churn plus one catastrophe: every
 // cycle ~0.3 % of workstations shut down and ~0.3 of a workstation joins
-// (fractions accumulate); at cycle 400 half the building loses power.
+// (fractions accumulate); at catastropheAt half the building loses power.
 type deskPool struct {
 	background  *sim.RateChurn
 	catastrophe *sim.CatastropheChurn
@@ -27,9 +29,15 @@ func (d *deskPool) Apply(e *sim.Engine) {
 }
 
 func main() {
+	run(os.Stdout, 1200, 400)
+}
+
+// run executes the example for the given horizon with the catastrophe at
+// the given cycle (separated from main for testability).
+func run(out io.Writer, cycles, catastropheAt int64) {
 	churn := &deskPool{
 		background:  &sim.RateChurn{CrashProb: 0.003, JoinPerCycle: 0.3, MinLive: 10},
-		catastrophe: &sim.CatastropheChurn{AtCycle: 400, Fraction: 0.5},
+		catastrophe: &sim.CatastropheChurn{AtCycle: catastropheAt, Fraction: 0.5},
 	}
 	net := gossipopt.New(gossipopt.Config{
 		Nodes:       128,
@@ -40,20 +48,20 @@ func main() {
 		Churn:       churn,
 	})
 
-	fmt.Println("cycle  live  quality")
-	for cycle := 0; cycle < 1200; cycle++ {
+	fmt.Fprintln(out, "cycle  live  quality")
+	for cycle := int64(0); cycle < cycles; cycle++ {
 		net.Step()
-		if cycle%100 == 99 || cycle == 400 {
+		if cycle%100 == 99 || cycle == catastropheAt {
 			marker := ""
-			if cycle == 400 {
+			if cycle == catastropheAt {
 				marker = "  <- catastrophe: 50% of nodes crashed"
 			}
-			fmt.Printf("%5d  %4d  %.6g%s\n",
+			fmt.Fprintf(out, "%5d  %4d  %.6g%s\n",
 				cycle+1, net.Engine().LiveCount(), net.Quality(), marker)
 		}
 	}
 
-	fmt.Printf("\nsurvived: %d nodes alive, quality %.6g after %d total evaluations\n",
+	fmt.Fprintf(out, "\nsurvived: %d nodes alive, quality %.6g after %d total evaluations\n",
 		net.Engine().LiveCount(), net.Quality(), net.TotalEvals())
-	fmt.Println("the computation never depended on any single node")
+	fmt.Fprintln(out, "the computation never depended on any single node")
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke test: a scaled-down run must survive its catastrophe and report a
+// live network at the end.
+func TestChurnExampleSurvives(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, 250, 100)
+	out := buf.String()
+	if !strings.Contains(out, "catastrophe: 50% of nodes crashed") {
+		t.Fatalf("catastrophe marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "survived:") {
+		t.Fatalf("no survival summary:\n%s", out)
+	}
+	if strings.Contains(out, "survived: 0 nodes") {
+		t.Fatalf("network died out:\n%s", out)
+	}
+}

@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"gossipopt"
 	"gossipopt/internal/core"
@@ -15,10 +17,12 @@ import (
 )
 
 func main() {
-	const (
-		nodes  = 50
-		budget = 200000
-	)
+	run(os.Stdout, 50, 200000)
+}
+
+// run executes the example at the given network size and evaluation budget
+// (separated from main for testability).
+func run(out io.Writer, nodes int, budget int64) {
 	traces := map[string]*exp.Trace{}
 	for _, r := range []int{4, 32, 0} { // 0 = no coordination
 		label := fmt.Sprintf("r=%d", r)
@@ -33,12 +37,12 @@ func main() {
 			Seed:        3,
 		})
 		traces[label] = exp.TraceRun(net, budget, budget/60)
-		fmt.Printf("%-9s final quality %.6g\n", label, traces[label].Final())
+		fmt.Fprintf(out, "%-9s final quality %.6g\n", label, traces[label].Final())
 	}
 
-	fmt.Println()
-	chart := exp.ConvergenceChart("Rastrigin, 50 nodes x 16 particles — gossip rate", traces)
-	fmt.Println(chart.ASCII(76, 20))
-	fmt.Println("frequent gossip (r=4) converges fastest; isolated swarms stall at")
-	fmt.Println("whatever their luckiest member finds — the paper's Figure 3 dynamics.")
+	fmt.Fprintln(out)
+	chart := exp.ConvergenceChart(fmt.Sprintf("Rastrigin, %d nodes x 16 particles — gossip rate", nodes), traces)
+	fmt.Fprintln(out, chart.ASCII(76, 20))
+	fmt.Fprintln(out, "frequent gossip (r=4) converges fastest; isolated swarms stall at")
+	fmt.Fprintln(out, "whatever their luckiest member finds — the paper's Figure 3 dynamics.")
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke test: a scaled-down run must produce all three trace labels and a
+// rendered chart.
+func TestConvergenceExampleRuns(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, 12, 6000)
+	out := buf.String()
+	for _, label := range []string{"r=4", "r=32", "isolated"} {
+		if !strings.Contains(out, label+" ") && !strings.Contains(out, label+"  ") {
+			t.Fatalf("trace %q missing:\n%s", label, out)
+		}
+	}
+	if !strings.Contains(out, "final quality") || !strings.Contains(out, "Rastrigin") {
+		t.Fatalf("chart or summary missing:\n%s", out)
+	}
+}

@@ -71,10 +71,15 @@ func (c AsyncConfig) withDefaults() AsyncConfig {
 	return c
 }
 
-// Message types of the asynchronous protocol.
+// Message types of the asynchronous protocol. The tick timers carry the
+// node's restart generation: a crashed node's in-flight tick can outlive
+// the crash (queued events are only dropped if delivered while the node is
+// dead), and without the generation check such a stale tick arriving after
+// a Revive would resume the old chain alongside the freshly armed one,
+// doubling the node's eval rate for the rest of the run.
 type (
-	evalTick     struct{}
-	newscastTick struct{}
+	evalTick     struct{ gen int }
+	newscastTick struct{ gen int }
 	viewPush     struct {
 		From sim.NodeID
 		View []overlay.Descriptor
@@ -101,6 +106,9 @@ type asyncNode struct {
 	solver solver.Solver
 
 	sinceGossip int
+	// gen is the restart generation; ticks from older generations are
+	// stale and must not re-arm their chains.
+	gen int
 
 	// Metrics.
 	Evals     int64
@@ -115,6 +123,9 @@ func stamp(e *sim.EventEngine) int64 { return int64(e.Now() * 1024) }
 func (a *asyncNode) Deliver(n *sim.Node, msg any, e *sim.EventEngine) {
 	switch m := msg.(type) {
 	case evalTick:
+		if m.gen != a.gen {
+			return // stale pre-crash timer; the revived chain already runs
+		}
 		a.solver.EvalOne()
 		a.Evals++
 		a.sinceGossip++
@@ -123,15 +134,18 @@ func (a *asyncNode) Deliver(n *sim.Node, msg any, e *sim.EventEngine) {
 			a.gossipBest(n, e)
 		}
 		jitter := 0.8 + 0.4*n.RNG.Float64()
-		e.SendAfter(a.net.cfg.EvalTime*jitter, a.id, evalTick{})
+		e.SendAfter(a.net.cfg.EvalTime*jitter, a.id, evalTick{gen: a.gen})
 
 	case newscastTick:
+		if m.gen != a.gen {
+			return
+		}
 		if peer, ok := a.samplePeer(n.RNG); ok {
 			view := append(a.view.Descriptors(),
 				overlay.Descriptor{ID: a.id, Stamp: stamp(e)})
 			e.Send(a.id, peer, viewPush{From: a.id, View: view})
 		}
-		e.SendAfter(a.net.cfg.NewscastPeriod, a.id, newscastTick{})
+		e.SendAfter(a.net.cfg.NewscastPeriod, a.id, newscastTick{gen: a.gen})
 
 	case viewPush:
 		// Reply with our own view before merging theirs (symmetric
@@ -285,6 +299,41 @@ func (net *AsyncNetwork) Crash(i int) {
 		net.eng.Crash(net.nodes[i].id)
 	}
 }
+
+// Revive restarts node i after a crash: the node is marked live again and
+// its eval/newscast timers are re-armed (they died with the node — a
+// crashed host's pending events were dropped at delivery). Solver state
+// survives the outage, like a process restarting from a checkpoint.
+func (net *AsyncNetwork) Revive(i int) {
+	if i < 0 || i >= len(net.nodes) {
+		return
+	}
+	a := net.nodes[i]
+	n := net.eng.Node(a.id)
+	if n == nil || n.Alive {
+		return
+	}
+	// Invalidate any pre-crash tick still in flight before arming new
+	// chains, so the node cannot end up with two.
+	a.gen++
+	net.eng.Revive(a.id)
+	net.eng.SendAfter(net.cfg.EvalTime, a.id, evalTick{gen: a.gen})
+	net.eng.SendAfter(net.cfg.NewscastPeriod, a.id, newscastTick{gen: a.gen})
+}
+
+// LiveCount returns the number of live nodes.
+func (net *AsyncNetwork) LiveCount() int {
+	live := 0
+	for _, a := range net.nodes {
+		if n := net.eng.Node(a.id); n != nil && n.Alive {
+			live++
+		}
+	}
+	return live
+}
+
+// Size returns the total node count.
+func (net *AsyncNetwork) Size() int { return len(net.nodes) }
 
 // Metrics sums coordination counters across live nodes.
 func (net *AsyncNetwork) Metrics() Metrics {

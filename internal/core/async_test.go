@@ -86,6 +86,34 @@ func TestAsyncCrashTolerance(t *testing.T) {
 	}
 }
 
+// TestAsyncReviveSingleTimerChain: a revive landing before the crashed
+// node's in-flight tick is delivered must not leave two parallel eval
+// chains (the stale pre-crash tick is generation-filtered), so the eval
+// rate after the restart stays the single-chain rate.
+func TestAsyncReviveSingleTimerChain(t *testing.T) {
+	net := NewAsyncNetwork(AsyncConfig{
+		Nodes: 1, Particles: 4, GossipEvery: 1 << 30, // no gossip noise
+		Function: funcs.Sphere, Seed: 8, EvalTime: 1,
+		NewscastPeriod: 1e9,
+	})
+	net.RunFor(20, 1<<22)
+	// Crash with a tick in flight, revive immediately: the old tick is
+	// still queued and will arrive after the node is live again.
+	net.Crash(0)
+	net.Revive(0)
+	before := net.TotalEvals()
+	net.RunFor(40, 1<<22)
+	got := net.TotalEvals() - before
+	// Single chain: ~40 evals (jitter 0.8–1.2 bounds it to [33, 50]).
+	// A duplicated chain would be ~80.
+	if got > 55 {
+		t.Fatalf("%d evals in 40 time units: stale pre-crash tick resumed a second chain", got)
+	}
+	if got < 20 {
+		t.Fatalf("%d evals in 40 time units: revived node barely runs", got)
+	}
+}
+
 func TestAsyncDeterministic(t *testing.T) {
 	run := func() (float64, int64) {
 		net := NewAsyncNetwork(AsyncConfig{

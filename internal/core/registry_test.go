@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gossipopt/internal/funcs"
+	"gossipopt/internal/rng"
+)
+
+func TestTopologyByName(t *testing.T) {
+	for _, name := range TopologyNames() {
+		k, err := TopologyByName(name)
+		if err != nil {
+			t.Fatalf("registered topology %q failed: %v", name, err)
+		}
+		if k.String() != name {
+			t.Fatalf("round-trip %q -> %v -> %q", name, k, k.String())
+		}
+	}
+	if k, err := TopologyByName("Newscast"); err != nil || k != TopoNewscast {
+		t.Fatalf("lookup not case-insensitive: %v %v", k, err)
+	}
+	_, err := TopologyByName("hypercube")
+	if err == nil || !strings.Contains(err.Error(), "newscast") {
+		t.Fatalf("unknown-topology error must list names, got %v", err)
+	}
+}
+
+func TestSolverByName(t *testing.T) {
+	r := rng.New(1)
+	for _, name := range SolverNames() {
+		mk, err := SolverByName(name, 8)
+		if err != nil {
+			t.Fatalf("registered solver %q failed: %v", name, err)
+		}
+		s := mk(funcs.Sphere, 0, 0, r.Split())
+		s.EvalOne()
+		if s.Evals() != 1 {
+			t.Fatalf("solver %q did not evaluate", name)
+		}
+	}
+	_, err := SolverByName("gradient-descent", 8)
+	if err == nil || !strings.Contains(err.Error(), "pso") {
+		t.Fatalf("unknown-solver error must list names, got %v", err)
+	}
+}
+
+func TestSolversByNameMixed(t *testing.T) {
+	mk, err := SolversByName([]string{"pso", "sa"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	// Round-robin by id: even ids PSO, odd ids SA; both must work.
+	for id := int64(0); id < 4; id++ {
+		s := mk(funcs.Sphere, 0, id, r.Split())
+		s.EvalOne()
+		if s.Evals() != 1 {
+			t.Fatalf("mixed solver for id %d did not evaluate", id)
+		}
+	}
+	if _, err := SolversByName(nil, 4); err == nil {
+		t.Fatal("empty solver list accepted")
+	}
+	if _, err := SolversByName([]string{"pso", "nope"}, 4); err == nil {
+		t.Fatal("bad name inside list accepted")
+	}
+}

@@ -87,8 +87,11 @@ func (c Cell) Label() string {
 	return s
 }
 
-// seedFor derives a deterministic per-repetition seed.
-func seedFor(base uint64, cellIdx, rep int) uint64 {
+// SeedFor derives a deterministic repetition seed from a base seed and
+// the repetition's indices (SplitMix64-style mixing). Sweeps use their
+// cell index; single-spec campaigns (internal/scenario) pass cellIdx 0 —
+// one mixer, so campaign and sweep seeding can never drift apart.
+func SeedFor(base uint64, cellIdx, rep int) uint64 {
 	x := base ^ uint64(cellIdx)*0x9e3779b97f4a7c15 ^ uint64(rep)*0xbf58476d1ce4e5b9
 	x ^= x >> 31
 	x *= 0x94d049bb133111eb
@@ -168,7 +171,7 @@ func (r *Runner) Sweep(cells []Cell) []CellResult {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res := RunRep(cells[j.cell], seedFor(r.BaseSeed, j.cell, j.rep))
+				res := RunRep(cells[j.cell], SeedFor(r.BaseSeed, j.cell, j.rep))
 				results[j.cell].PerRep[j.rep] = res
 			}
 		}()

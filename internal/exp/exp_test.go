@@ -24,7 +24,7 @@ func TestSeedForDistinct(t *testing.T) {
 	seen := map[uint64]bool{}
 	for cell := 0; cell < 20; cell++ {
 		for rep := 0; rep < 20; rep++ {
-			s := seedFor(42, cell, rep)
+			s := SeedFor(42, cell, rep)
 			if seen[s] {
 				t.Fatalf("seed collision at cell=%d rep=%d", cell, rep)
 			}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+var sampleRecords = []Record{
+	{Scenario: "baseline", Rep: 0, Seed: 42, Cycle: 10, Time: 10, Live: 64,
+		Evals: 640, Quality: 1.25, Exchanges: 40, Lost: 2, Adoptions: 11,
+		Delivered: 38, Dropped: 2},
+	{Scenario: "weird,\"name\"", Rep: 1, Seed: 7, Cycle: 0, Time: 0.5, Live: 1,
+		Evals: 0, Quality: math.Inf(1)},
+}
+
+func TestCSVSinkRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewCSVSink(&buf)
+	for _, r := range sampleRecords {
+		if err := s.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
+	}
+	if rows[0][0] != "scenario" || rows[0][len(rows[0])-1] != "dropped" {
+		t.Fatalf("header wrong: %v", rows[0])
+	}
+	if rows[1][7] != "1.25" || rows[2][7] != "inf" {
+		t.Fatalf("quality cells wrong: %q %q", rows[1][7], rows[2][7])
+	}
+	if rows[2][0] != `weird,"name"` {
+		t.Fatalf("escaping broke the scenario name: %q", rows[2][0])
+	}
+}
+
+func TestJSONLSinkParses(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for _, r := range sampleRecords {
+		if err := s.Emit(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("line 0 invalid JSON: %v", err)
+	}
+	if obj["quality"] != 1.25 || obj["scenario"] != "baseline" || obj["evals"] != float64(640) {
+		t.Fatalf("line 0 fields wrong: %v", obj)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &obj); err != nil {
+		t.Fatalf("line 1 invalid JSON: %v", err)
+	}
+	if obj["quality"] != nil {
+		t.Fatalf("+Inf quality must encode as null, got %v", obj["quality"])
+	}
+}
+
+func TestSinkDeterminism(t *testing.T) {
+	render := func(mk func(b *bytes.Buffer) Sink) string {
+		var buf bytes.Buffer
+		s := mk(&buf)
+		for _, r := range sampleRecords {
+			if err := s.Emit(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	mkCSV := func(b *bytes.Buffer) Sink { return NewCSVSink(b) }
+	mkJSONL := func(b *bytes.Buffer) Sink { return NewJSONLSink(b) }
+	if render(mkCSV) != render(mkCSV) {
+		t.Fatal("CSV output not byte-stable")
+	}
+	if render(mkJSONL) != render(mkJSONL) {
+		t.Fatal("JSONL output not byte-stable")
+	}
+}

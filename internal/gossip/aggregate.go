@@ -13,6 +13,13 @@ import (
 // this protocol as a canonical application of peer sampling; it is also
 // independently useful for estimating network size (push one 1.0 and
 // average: the mean tends to 1/n).
+//
+// Average speaks the engine's two-phase exchange contract, so it is
+// stepped on parallel propose workers. Propose only samples the partner;
+// the pairwise averaging happens atomically in Receive, which reads the
+// *initiator's value at delivery time* (not a propose-time snapshot) —
+// with stale snapshots two exchanges touching the same node in one cycle
+// would destroy the sum invariant that makes the protocol an aggregator.
 type Average struct {
 	// Slot is the protocol slot of the node's PeerSampler.
 	Slot int
@@ -21,9 +28,21 @@ type Average struct {
 
 	value float64
 
-	// Exchanges counts initiated pairwise averaging steps.
+	// Exchanges counts initiated pairwise averaging steps; Lost counts
+	// initiations that died in transit (dead peer or network partition).
 	Exchanges int64
+	Lost      int64
 }
+
+// exchangeReq is the (payload-free) pairwise exchange proposal: both
+// sides' current values are read from live node state during apply.
+type exchangeReq struct{}
+
+var (
+	_ sim.Proposer      = (*Average)(nil)
+	_ sim.Receiver      = (*Average)(nil)
+	_ sim.Undeliverable = (*Average)(nil)
+)
 
 // Value returns the node's current estimate.
 func (a *Average) Value() float64 { return a.value }
@@ -31,8 +50,9 @@ func (a *Average) Value() float64 { return a.value }
 // SetValue initializes the node's local value.
 func (a *Average) SetValue(v float64) { a.value = v }
 
-// NextCycle implements sim.Protocol: one pairwise averaging exchange.
-func (a *Average) NextCycle(n *sim.Node, e *sim.Engine) {
+// Propose implements sim.Proposer: sample a partner from the node's own
+// view and propose one averaging exchange.
+func (a *Average) Propose(n *sim.Node, px *sim.Proposals) {
 	sampler, ok := n.Protocol(a.Slot).(overlay.PeerSampler)
 	if !ok {
 		return
@@ -41,19 +61,30 @@ func (a *Average) NextCycle(n *sim.Node, e *sim.Engine) {
 	if !ok {
 		return
 	}
-	peer := e.Node(peerID)
+	a.Exchanges++
+	px.Send(peerID, a.SelfSlot, exchangeReq{})
+}
+
+// Receive implements sim.Receiver: both parties replace their values with
+// the pairwise mean. Apply is sequential, so reading and writing the
+// initiator's state here is race-free and the exchange is atomic.
+func (a *Average) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	peer := e.Node(msg.From)
 	if peer == nil || !peer.Alive {
 		return
 	}
-	remote, ok := peer.Protocol(a.SelfSlot).(*Average)
+	remote, ok := peer.Protocol(msg.Slot).(*Average)
 	if !ok {
 		return
 	}
 	mean := (a.value + remote.value) / 2
 	a.value = mean
 	remote.value = mean
-	a.Exchanges++
 }
+
+// Undelivered implements sim.Undeliverable: the sampled partner was dead
+// or unreachable, so the exchange is lost.
+func (a *Average) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { a.Lost++ }
 
 // Aggregate generalizes pairwise gossip aggregation to any commutative,
 // associative, idempotent-converging combiner: both parties replace their
@@ -62,6 +93,9 @@ func (a *Average) NextCycle(n *sim.Node, e *sim.Engine) {
 // mean combiner this degenerates to Average (kept separate because the
 // mean combiner must update both sides with the same value, which
 // Aggregate also guarantees).
+//
+// Like Average, Aggregate speaks the two-phase exchange contract and
+// resolves each pairwise step atomically in Receive.
 type Aggregate struct {
 	// Slot is the protocol slot of the node's PeerSampler. SelfSlot is
 	// where Aggregate instances live. Combine merges two values.
@@ -71,9 +105,17 @@ type Aggregate struct {
 
 	value float64
 
-	// Exchanges counts initiated pairwise steps.
+	// Exchanges counts initiated pairwise steps; Lost counts initiations
+	// that died in transit.
 	Exchanges int64
+	Lost      int64
 }
+
+var (
+	_ sim.Proposer      = (*Aggregate)(nil)
+	_ sim.Receiver      = (*Aggregate)(nil)
+	_ sim.Undeliverable = (*Aggregate)(nil)
+)
 
 // Value returns the node's current estimate.
 func (a *Aggregate) Value() float64 { return a.value }
@@ -81,8 +123,9 @@ func (a *Aggregate) Value() float64 { return a.value }
 // SetValue initializes the node's local value.
 func (a *Aggregate) SetValue(v float64) { a.value = v }
 
-// NextCycle implements sim.Protocol.
-func (a *Aggregate) NextCycle(n *sim.Node, e *sim.Engine) {
+// Propose implements sim.Proposer: sample a partner and propose one
+// combining exchange.
+func (a *Aggregate) Propose(n *sim.Node, px *sim.Proposals) {
 	sampler, ok := n.Protocol(a.Slot).(overlay.PeerSampler)
 	if !ok {
 		return
@@ -91,19 +134,28 @@ func (a *Aggregate) NextCycle(n *sim.Node, e *sim.Engine) {
 	if !ok {
 		return
 	}
-	peer := e.Node(peerID)
+	a.Exchanges++
+	px.Send(peerID, a.SelfSlot, exchangeReq{})
+}
+
+// Receive implements sim.Receiver: both parties adopt Combine of their
+// current values, atomically on the apply goroutine.
+func (a *Aggregate) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	peer := e.Node(msg.From)
 	if peer == nil || !peer.Alive {
 		return
 	}
-	remote, ok := peer.Protocol(a.SelfSlot).(*Aggregate)
+	remote, ok := peer.Protocol(msg.Slot).(*Aggregate)
 	if !ok {
 		return
 	}
 	combined := a.Combine(a.value, remote.value)
 	a.value = combined
 	remote.value = combined
-	a.Exchanges++
 }
+
+// Undelivered implements sim.Undeliverable.
+func (a *Aggregate) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { a.Lost++ }
 
 // MinCombine and MaxCombine are the extremum combiners.
 func MinCombine(a, b float64) float64 {

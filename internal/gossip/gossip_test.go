@@ -262,6 +262,57 @@ func TestAverageSpreadDecreasesMonotonically(t *testing.T) {
 	}
 }
 
+// TestAverageWorkerInvariant: the ported protocol participates in the
+// parallel propose phase, so its trace must be bit-identical for every
+// worker count.
+func TestAverageWorkerInvariant(t *testing.T) {
+	values := func(workers int) []float64 {
+		e := sim.NewEngine(16)
+		e.SetWorkers(workers)
+		nodes := e.AddNodes(64)
+		overlay.InitNewscast(e, 0, 20)
+		for _, nd := range nodes {
+			a := &Average{Slot: 0, SelfSlot: 1}
+			a.SetValue(float64(nd.ID))
+			nd.Protocols = append(nd.Protocols, a)
+		}
+		e.Run(10)
+		out := make([]float64, 0, 64)
+		e.ForEachLive(func(n *sim.Node) {
+			out = append(out, n.Protocol(1).(*Average).Value())
+		})
+		return out
+	}
+	one, eight := values(1), values(8)
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Fatalf("node %d diverged across worker counts: %v vs %v", i, one[i], eight[i])
+		}
+	}
+}
+
+// TestAverageLostExchanges: exchanges proposed to nodes that die before
+// apply are reported through the Undeliverable hook.
+func TestAverageLostExchanges(t *testing.T) {
+	e := buildNet(17, 50, func(id sim.NodeID) sim.Protocol {
+		a := &Average{Slot: 0, SelfSlot: 1}
+		a.SetValue(float64(id))
+		return a
+	})
+	e.Run(5) // let views fill with peers...
+	for id := sim.NodeID(25); id < 50; id++ {
+		e.Crash(id) // ...then kill half the network
+	}
+	e.Run(10)
+	var lost int64
+	e.ForEachLive(func(n *sim.Node) {
+		lost += n.Protocol(1).(*Average).Lost
+	})
+	if lost == 0 {
+		t.Fatal("no lost exchanges despite half the network dead")
+	}
+}
+
 func TestAggregateMinConverges(t *testing.T) {
 	e := buildNet(12, 100, func(id sim.NodeID) sim.Protocol {
 		a := &Aggregate{Slot: 0, SelfSlot: 1, Combine: MinCombine}

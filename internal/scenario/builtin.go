@@ -1,0 +1,111 @@
+package scenario
+
+import "sort"
+
+// The built-in scenarios: one runnable exemplar per scripted condition the
+// subsystem supports, sized to finish in well under a second each so they
+// double as CI smoke tests. Each is a plain Spec — `cmd/scenario -show
+// <name>` prints the JSON, the natural starting point for custom files.
+
+func builtins() map[string]Spec {
+	return map[string]Spec{
+		"baseline": {
+			Name:         "baseline",
+			Description:  "64-node Newscast/PSO network on Sphere, no disturbances — the reference run.",
+			Nodes:        64,
+			Seed:         1,
+			MetricsEvery: 20,
+			Stop:         Stop{Cycles: 200},
+		},
+		"flash-churn": {
+			Name:        "flash-churn",
+			Description: "A churn burst: 25% of nodes crash at cycle 60, fresh nodes join at 80, crashed ones restart at 120.",
+			Nodes:       64,
+			Seed:        2,
+			Stack:       Stack{Function: "Rastrigin"},
+			Timeline: []Event{
+				{At: 60, Action: "crash", Fraction: 0.25},
+				{At: 80, Action: "join", Count: 8},
+				{At: 120, Action: "revive", Count: 8},
+			},
+			MetricsEvery: 20,
+			Stop:         Stop{Cycles: 240},
+		},
+		"netsplit-heal": {
+			Name:        "netsplit-heal",
+			Description: "The network splits into two islands at cycle 60 and heals at 160; the islands' optima re-merge.",
+			Nodes:       64,
+			Seed:        3,
+			Stack:       Stack{Function: "Griewank"},
+			Timeline: []Event{
+				{At: 60, Action: "partition", Groups: 2},
+				{At: 160, Action: "heal"},
+			},
+			MetricsEvery: 20,
+			Stop:         Stop{Cycles: 240},
+		},
+		"lossy-wan": {
+			Name:        "lossy-wan",
+			Description: "Event-driven WAN with 5% baseline loss and a loss storm (50%) between t=100 and t=200.",
+			Engine:      EngineEvent,
+			Nodes:       32,
+			Seed:        4,
+			Stack: Stack{
+				Function: "Rastrigin",
+				Link:     &Link{MinDelay: 0.5, MaxDelay: 2, LossProb: 0.05},
+			},
+			Timeline: []Event{
+				{At: 100, Action: "set-link", Link: &Link{MinDelay: 0.5, MaxDelay: 2, LossProb: 0.5}},
+				{At: 200, Action: "set-link", Link: &Link{MinDelay: 0.5, MaxDelay: 2, LossProb: 0.05}},
+			},
+			MetricsEvery: 30,
+			Stop:         Stop{Time: 300},
+		},
+		"latency-spike": {
+			Name:        "latency-spike",
+			Description: "Event-driven run where link latency jumps 10x between t=100 and t=200 (a congested backbone).",
+			Engine:      EngineEvent,
+			Nodes:       32,
+			Seed:        5,
+			Stack: Stack{
+				Function: "Sphere",
+				Link:     &Link{MinDelay: 0.5, MaxDelay: 1.5},
+			},
+			Timeline: []Event{
+				{At: 100, Action: "set-link", Link: &Link{MinDelay: 5, MaxDelay: 15}},
+				{At: 200, Action: "set-link", Link: &Link{MinDelay: 0.5, MaxDelay: 1.5}},
+			},
+			MetricsEvery: 30,
+			Stop:         Stop{Time: 300},
+		},
+		"mixed-solvers": {
+			Name:        "mixed-solvers",
+			Description: "Module diversification: six solver types round-robin across 60 nodes, coordinated by best-point gossip.",
+			Nodes:       60,
+			Seed:        6,
+			Stack: Stack{
+				Function: "Rastrigin",
+				Solvers:  []string{"pso", "de", "ga", "sa", "es", "random"},
+			},
+			MetricsEvery: 20,
+			Stop:         Stop{Cycles: 240},
+		},
+	}
+}
+
+// Builtin returns the named built-in scenario.
+func Builtin(name string) (Spec, bool) {
+	s, ok := builtins()[name]
+	return s, ok
+}
+
+// BuiltinNames returns the sorted built-in scenario names.
+func BuiltinNames() []string {
+	m := builtins()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,377 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"gossipopt/internal/core"
+	"gossipopt/internal/exp"
+	"gossipopt/internal/funcs"
+	"gossipopt/internal/sim"
+)
+
+// Options tune a campaign without touching the spec.
+type Options struct {
+	// Reps is the number of repetitions (default 1); each gets a seed
+	// derived from the base seed and its index.
+	Reps int
+	// BaseSeed overrides the spec's seed when non-zero.
+	BaseSeed uint64
+	// Workers is the cycle engine's propose-phase parallelism; output is
+	// bit-identical for every value (the event engine is single-threaded
+	// and ignores it).
+	Workers int
+}
+
+// RepSummary is the end-of-run state of one repetition.
+type RepSummary struct {
+	Rep     int
+	Seed    uint64
+	Cycles  int64
+	Time    float64
+	Evals   int64
+	Quality float64
+	// Reached reports whether the Stop.Quality threshold stopped the run.
+	Reached bool
+}
+
+// Run executes a campaign: Reps repetitions of the spec, each emitting its
+// metric schedule into sink. Repetitions run sequentially so the emitted
+// rows have one canonical order — the determinism the golden tests pin.
+func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = 1
+	}
+	base := opts.BaseSeed
+	if base == 0 {
+		base = spec.Seed
+	}
+	summaries := make([]RepSummary, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		seed := exp.SeedFor(base, 0, rep)
+		var sum RepSummary
+		if spec.Engine == EngineEvent {
+			sum, err = runEventRep(spec, seed, rep, sink)
+		} else {
+			sum, err = runCycleRep(spec, seed, rep, opts.Workers, sink)
+		}
+		if err != nil {
+			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
+		}
+		sum.Rep, sum.Seed = rep, seed
+		summaries = append(summaries, sum)
+	}
+	return summaries, sink.Flush()
+}
+
+// runCycleRep compiles the spec onto the cycle engine and runs one
+// repetition. Spec names are pre-validated, so registry lookups cannot
+// fail here.
+func runCycleRep(s Spec, seed uint64, rep, workers int, sink exp.Sink) (RepSummary, error) {
+	fn, _ := funcs.ByName(s.Stack.Function)
+	topo, _ := core.TopologyByName(s.Stack.Topology)
+	factory, _ := core.SolversByName(s.Stack.Solvers, s.Stack.Particles)
+
+	net := core.NewNetwork(core.Config{
+		Nodes:         s.Nodes,
+		Particles:     s.Stack.Particles,
+		GossipEvery:   gossipEvery(s.Stack.GossipEvery),
+		ViewSize:      s.Stack.ViewSize,
+		Function:      fn,
+		Dim:           s.Stack.Dim,
+		Seed:          seed,
+		Topology:      topo,
+		SolverFactory: factory,
+		DropProb:      s.Stack.DropProb,
+		Workers:       workers,
+	})
+	eng := net.Engine()
+
+	emit := func(cycle int64) error {
+		m := net.Metrics()
+		return sink.Emit(exp.Record{
+			Scenario:  s.Name,
+			Rep:       rep,
+			Seed:      seed,
+			Cycle:     cycle,
+			Time:      float64(cycle),
+			Live:      eng.LiveCount(),
+			Evals:     net.TotalEvals(),
+			Quality:   net.Quality(),
+			Exchanges: m.Exchanges,
+			Lost:      m.LostExchanges,
+			Adoptions: m.Adoptions,
+			Delivered: eng.Delivered(),
+			Dropped:   eng.Dropped(),
+		})
+	}
+
+	every := int64(s.MetricsEvery)
+	if every < 1 {
+		every = 1
+	}
+	ei := 0
+	var lastEmit int64 = -1
+	var sum RepSummary
+	var c int64
+	for c = 0; c < s.Stop.Cycles; c++ {
+		for ei < len(s.Timeline) && int64(s.Timeline[ei].At) <= c {
+			applyCycleEvent(eng, s.Timeline[ei])
+			ei++
+		}
+		eng.RunCycle()
+		done := c + 1
+		if done%every == 0 {
+			if err := emit(done); err != nil {
+				return sum, err
+			}
+			lastEmit = done
+		}
+		if s.Stop.Quality != nil && net.Quality() <= *s.Stop.Quality {
+			sum.Reached = true
+			c = done
+			break
+		}
+		if s.Stop.MaxEvals > 0 && net.TotalEvals() >= s.Stop.MaxEvals {
+			c = done
+			break
+		}
+		// A dead network only ends the run if the script holds no
+		// revival: a total wipeout followed by a scripted join/revive is
+		// a legitimate outage-and-recovery experiment, and validation
+		// promised every timeline entry fires.
+		if eng.LiveCount() == 0 && !recoveryAhead(s.Timeline[ei:]) {
+			c = done
+			break
+		}
+	}
+	if lastEmit != c {
+		if err := emit(c); err != nil {
+			return sum, err
+		}
+	}
+	sum.Cycles = c
+	sum.Time = float64(c)
+	sum.Evals = net.TotalEvals()
+	sum.Quality = net.Quality()
+	return sum, nil
+}
+
+// recoveryAhead reports whether any remaining scripted event can bring
+// nodes back to life.
+func recoveryAhead(events []Event) bool {
+	for _, ev := range events {
+		if ev.Action == "join" || ev.Action == "revive" {
+			return true
+		}
+	}
+	return false
+}
+
+// gossipEvery maps the spec convention (negative disables coordination) to
+// the core one (zero disables).
+func gossipEvery(r int) int {
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// applyCycleEvent fires one scripted event on the cycle engine, before the
+// cycle it names runs. All random choices draw from the engine RNG on the
+// coordinator goroutine, so scripted runs stay worker-invariant.
+func applyCycleEvent(eng *sim.Engine, ev Event) {
+	switch ev.Action {
+	case "crash":
+		live := eng.LiveNodes()
+		kill := eventCount(ev, len(live))
+		perm := eng.RNG().Perm(len(live))
+		for i := 0; i < kill && i < len(perm); i++ {
+			eng.Crash(live[perm[i]].ID)
+		}
+	case "join":
+		for i := 0; i < ev.Count; i++ {
+			eng.AddNode()
+		}
+	case "revive":
+		left := ev.Count
+		for _, n := range eng.AllNodes() {
+			if left == 0 {
+				break
+			}
+			if !n.Alive {
+				eng.Revive(n.ID)
+				left--
+			}
+		}
+	case "partition":
+		eng.SetDeliveryFilter(sim.SplitGroups(ev.Groups))
+	case "heal":
+		eng.SetDeliveryFilter(nil)
+	}
+}
+
+// eventCount resolves an event's victim count: Count wins, otherwise the
+// fraction of the current population, both capped at n.
+func eventCount(ev Event, n int) int {
+	k := ev.Count
+	if k <= 0 {
+		k = int(ev.Fraction * float64(n))
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// runEventRep compiles the spec onto the event engine and runs one
+// repetition. Breakpoints — scripted events, metric samples, the horizon —
+// partition simulated time; the engine runs to each in turn.
+func runEventRep(s Spec, seed uint64, rep int, sink exp.Sink) (RepSummary, error) {
+	fn, _ := funcs.ByName(s.Stack.Function)
+	factory, _ := core.SolversByName(s.Stack.Solvers, s.Stack.Particles)
+
+	var link sim.LinkModel
+	if s.Stack.Link != nil {
+		link = toUniformLink(s.Stack.Link)
+	}
+	net := core.NewAsyncNetwork(core.AsyncConfig{
+		Nodes:          s.Nodes,
+		Particles:      s.Stack.Particles,
+		GossipEvery:    gossipEvery(s.Stack.GossipEvery),
+		ViewSize:       s.Stack.ViewSize,
+		Function:       fn,
+		Dim:            s.Stack.Dim,
+		Seed:           seed,
+		SolverFactory:  factory,
+		EvalTime:       s.Stack.EvalTime,
+		NewscastPeriod: s.Stack.NewscastPeriod,
+		Link:           link,
+	})
+	eng := net.Engine()
+
+	var sampleIdx int64
+	emit := func(at float64) error {
+		sampleIdx++
+		m := net.Metrics()
+		return sink.Emit(exp.Record{
+			Scenario:  s.Name,
+			Rep:       rep,
+			Seed:      seed,
+			Cycle:     sampleIdx,
+			Time:      at,
+			Live:      net.LiveCount(),
+			Evals:     net.TotalEvals(),
+			Quality:   net.Quality(),
+			Exchanges: m.Exchanges,
+			Adoptions: m.Adoptions,
+			Delivered: eng.Delivered(),
+			Dropped:   eng.Dropped(),
+		})
+	}
+
+	horizon := s.Stop.Time
+	ei := 0
+	nextSample := s.MetricsEvery
+	var sum RepSummary
+	now := 0.0
+	for {
+		// The next breakpoint: scripted event, metric sample, or horizon.
+		next := horizon
+		isSample := false
+		if nextSample < next {
+			next, isSample = nextSample, true
+		}
+		hasEvent := ei < len(s.Timeline) && s.Timeline[ei].At <= next
+		if hasEvent {
+			next = s.Timeline[ei].At
+			isSample = isSample && next == nextSample
+		}
+		eng.RunUntil(next, math.MaxInt64)
+		// RunUntil leaves the clock at the last delivered event; advance
+		// it to the breakpoint so events below act at their scripted time
+		// (a revive must re-arm its timers from At, not from whenever the
+		// queue went quiet).
+		eng.AdvanceTo(next)
+		now = next
+		if hasEvent {
+			applyEventEvent(net, eng, s.Timeline[ei], s.Stack.Link)
+			ei++
+		}
+		if isSample {
+			if err := emit(now); err != nil {
+				return sum, err
+			}
+			nextSample += s.MetricsEvery
+		}
+		if s.Stop.Quality != nil && net.Quality() <= *s.Stop.Quality {
+			sum.Reached = true
+			break
+		}
+		if s.Stop.MaxEvals > 0 && net.TotalEvals() >= s.Stop.MaxEvals {
+			break
+		}
+		if now >= horizon {
+			break
+		}
+	}
+	// Final sample, unless the run stopped exactly on a scheduled one.
+	if nextSample-s.MetricsEvery != now || sampleIdx == 0 {
+		if err := emit(now); err != nil {
+			return sum, err
+		}
+	}
+	sum.Cycles = sampleIdx
+	sum.Time = now
+	sum.Evals = net.TotalEvals()
+	sum.Quality = net.Quality()
+	return sum, nil
+}
+
+// toUniformLink converts a spec Link to the engine's model.
+func toUniformLink(l *Link) sim.UniformLink {
+	return sim.UniformLink{MinDelay: l.MinDelay, MaxDelay: l.MaxDelay, LossProb: l.LossProb}
+}
+
+// applyEventEvent fires one scripted event on the event engine. baseline
+// is the spec's initial link model: a set-link without an explicit link
+// restores it (ending a storm means back to normal, not back to a perfect
+// network).
+func applyEventEvent(net *core.AsyncNetwork, eng *sim.EventEngine, ev Event, baseline *Link) {
+	switch ev.Action {
+	case "crash":
+		live := eng.LiveNodes()
+		kill := eventCount(ev, len(live))
+		perm := eng.RNG().Perm(len(live))
+		for i := 0; i < kill && i < len(perm); i++ {
+			eng.Crash(live[perm[i]].ID)
+		}
+	case "revive":
+		left := ev.Count
+		for i := 0; i < net.Size() && left > 0; i++ {
+			if n := eng.Node(sim.NodeID(i)); n != nil && !n.Alive {
+				net.Revive(i)
+				left--
+			}
+		}
+	case "partition":
+		eng.SetDeliveryFilter(sim.SplitGroups(ev.Groups))
+	case "heal":
+		eng.SetDeliveryFilter(nil)
+	case "set-link":
+		link := ev.Link
+		if link == nil {
+			link = baseline
+		}
+		if link != nil {
+			eng.SetLink(toUniformLink(link))
+		} else {
+			eng.SetLink(nil)
+		}
+	}
+}

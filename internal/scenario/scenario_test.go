@@ -1,0 +1,391 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gossipopt/internal/exp"
+)
+
+// captureSink records every emitted Record for inspection.
+type captureSink struct{ recs []exp.Record }
+
+func (s *captureSink) Emit(r exp.Record) error { s.recs = append(s.recs, r); return nil }
+func (s *captureSink) Flush() error            { return nil }
+
+func TestBuiltinsNormalize(t *testing.T) {
+	names := BuiltinNames()
+	if len(names) != 6 {
+		t.Fatalf("expected 6 built-ins, got %v", names)
+	}
+	for _, name := range names {
+		s, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("Builtin(%q) missing", name)
+		}
+		if _, err := s.normalized(); err != nil {
+			t.Fatalf("built-in %q does not validate: %v", name, err)
+		}
+	}
+	if _, ok := Builtin("no-such"); ok {
+		t.Fatal("unknown builtin found")
+	}
+}
+
+func TestAllBuiltinsRun(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		spec, _ := Builtin(name)
+		sums, err := Run(spec, Options{Workers: 2}, exp.DiscardSink{})
+		if err != nil {
+			t.Fatalf("built-in %q failed: %v", name, err)
+		}
+		if len(sums) != 1 {
+			t.Fatalf("built-in %q: %d summaries, want 1", name, len(sums))
+		}
+		s := sums[0]
+		if s.Evals == 0 || math.IsInf(s.Quality, 0) {
+			t.Fatalf("built-in %q produced no work: %+v", name, s)
+		}
+	}
+}
+
+// TestWorkerInvariance is the subsystem's core guarantee: the same spec +
+// seed yields byte-identical metric output at any worker count.
+func TestWorkerInvariance(t *testing.T) {
+	render := func(workers int) string {
+		spec, _ := Builtin("netsplit-heal")
+		var buf bytes.Buffer
+		if _, err := Run(spec, Options{Reps: 2, Workers: workers}, exp.NewCSVSink(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one := render(1)
+	eight := render(8)
+	if one != eight {
+		t.Fatalf("metric output differs between workers=1 and workers=8:\n--- 1 ---\n%s--- 8 ---\n%s", one, eight)
+	}
+	if strings.Count(one, "\n") < 3 {
+		t.Fatalf("suspiciously little output:\n%s", one)
+	}
+}
+
+func TestRepSeedsDiffer(t *testing.T) {
+	spec, _ := Builtin("baseline")
+	sums, err := Run(spec, Options{Reps: 3}, exp.DiscardSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0].Seed == sums[1].Seed || sums[1].Seed == sums[2].Seed {
+		t.Fatalf("repetition seeds collide: %+v", sums)
+	}
+	if sums[0].Quality == sums[1].Quality {
+		t.Fatalf("distinct seeds, identical outcomes: %+v", sums)
+	}
+}
+
+func TestCycleEventsApplied(t *testing.T) {
+	spec := Spec{
+		Name:  "events",
+		Nodes: 10,
+		Seed:  9,
+		Timeline: []Event{
+			{At: 2, Action: "crash", Count: 4},
+			{At: 4, Action: "join", Count: 3},
+			{At: 6, Action: "revive", Count: 2},
+		},
+		MetricsEvery: 1,
+		Stop:         Stop{Cycles: 8},
+	}
+	var sink captureSink
+	if _, err := Run(spec, Options{}, &sink); err != nil {
+		t.Fatal(err)
+	}
+	liveAt := map[int64]int{}
+	for _, r := range sink.recs {
+		liveAt[r.Cycle] = r.Live
+	}
+	// Events fire before the cycle they name: the crash at cycle index 2
+	// shows in the sample after that cycle completes (Cycle == 3).
+	if liveAt[2] != 10 || liveAt[3] != 6 || liveAt[5] != 9 || liveAt[7] != 11 {
+		t.Fatalf("live counts don't trace the script: %v", liveAt)
+	}
+}
+
+func TestCyclePartitionDropsMessages(t *testing.T) {
+	spec := Spec{
+		Name:  "split",
+		Nodes: 32,
+		Seed:  11,
+		Timeline: []Event{
+			{At: 10, Action: "partition", Groups: 2},
+			{At: 30, Action: "heal"},
+		},
+		MetricsEvery: 10,
+		Stop:         Stop{Cycles: 40},
+	}
+	var sink captureSink
+	if _, err := Run(spec, Options{}, &sink); err != nil {
+		t.Fatal(err)
+	}
+	// Newscast crosses the cut constantly, so drops must accumulate
+	// during the partition window and delivery must resume after it.
+	var at10, at30, at40 exp.Record
+	for _, r := range sink.recs {
+		switch r.Cycle {
+		case 10:
+			at10 = r
+		case 30:
+			at30 = r
+		case 40:
+			at40 = r
+		}
+	}
+	if at10.Dropped != 0 {
+		t.Fatalf("drops before the partition: %+v", at10)
+	}
+	if at30.Dropped <= at10.Dropped {
+		t.Fatalf("no drops during the partition: %+v", at30)
+	}
+	if at40.Delivered <= at30.Delivered {
+		t.Fatalf("delivery did not resume after heal: %+v", at40)
+	}
+}
+
+func TestEventEngineScenarioRuns(t *testing.T) {
+	spec, _ := Builtin("lossy-wan")
+	var sink captureSink
+	sums, err := Run(spec, Options{}, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.recs) == 0 {
+		t.Fatal("no metric records emitted")
+	}
+	last := sink.recs[len(sink.recs)-1]
+	if last.Dropped == 0 {
+		t.Fatalf("lossy link dropped nothing: %+v", last)
+	}
+	if sums[0].Time != 300 {
+		t.Fatalf("run did not reach the horizon: %+v", sums[0])
+	}
+}
+
+func TestEventEngineDeterministic(t *testing.T) {
+	render := func() string {
+		spec, _ := Builtin("latency-spike")
+		var buf bytes.Buffer
+		if _, err := Run(spec, Options{}, exp.NewJSONLSink(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("event-engine scenario not byte-deterministic")
+	}
+}
+
+func TestQualityStop(t *testing.T) {
+	loose := 1e12 // any evaluated point on Sphere beats this
+	spec := Spec{
+		Name:         "stop",
+		Nodes:        8,
+		Seed:         5,
+		MetricsEvery: 1,
+		Stop:         Stop{Cycles: 100, Quality: &loose},
+	}
+	sums, err := Run(spec, Options{}, exp.DiscardSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sums[0].Reached || sums[0].Cycles != 1 {
+		t.Fatalf("loose quality threshold did not stop the run: %+v", sums[0])
+	}
+}
+
+func TestMaxEvalsStop(t *testing.T) {
+	spec := Spec{
+		Name:  "budget",
+		Nodes: 10,
+		Seed:  5,
+		Stop:  Stop{Cycles: 100, MaxEvals: 30},
+	}
+	sums, err := Run(spec, Options{}, exp.DiscardSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0].Cycles != 3 || sums[0].Evals != 30 {
+		t.Fatalf("eval budget ignored: %+v", sums[0])
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":        `{"name":"x","nodez":3}`,
+		"unknown engine":       `{"name":"x","engine":"quantum"}`,
+		"unknown action":       `{"name":"x","timeline":[{"at":1,"action":"meteor"}]}`,
+		"unknown function":     `{"name":"x","stack":{"function":"Nope"}}`,
+		"unknown topology":     `{"name":"x","stack":{"topology":"hypercube"}}`,
+		"unknown solver":       `{"name":"x","stack":{"solvers":["sgd"]}}`,
+		"fractional cycle":     `{"name":"x","timeline":[{"at":1.5,"action":"heal"}]}`,
+		"join on event":        `{"name":"x","engine":"event","timeline":[{"at":1,"action":"join","count":1}]}`,
+		"set-link on cycle":    `{"name":"x","timeline":[{"at":1,"action":"set-link"}]}`,
+		"tiny partition":       `{"name":"x","timeline":[{"at":1,"action":"partition","groups":1}]}`,
+		"missing name":         `{"nodes":3}`,
+		"crash without size":   `{"name":"x","timeline":[{"at":1,"action":"crash"}]}`,
+		"stop.time on cycle":   `{"name":"x","stop":{"time":50}}`,
+		"stop.cycles on event": `{"name":"x","engine":"event","stop":{"cycles":50}}`,
+		"fractional metrics":   `{"name":"x","metrics_every":2.5}`,
+		"event past stop":      `{"name":"x","stop":{"cycles":100},"timeline":[{"at":150,"action":"heal"}]}`,
+		"event past horizon":   `{"name":"x","engine":"event","stop":{"time":100},"timeline":[{"at":150,"action":"heal"}]}`,
+		"drop_prob on event":   `{"name":"x","engine":"event","stack":{"drop_prob":0.3}}`,
+		"eval_time on cycle":   `{"name":"x","stack":{"eval_time":2}}`,
+		"link on cycle":        `{"name":"x","stack":{"link":{"loss_prob":0.1}}}`,
+		"negative delay":       `{"name":"x","engine":"event","stack":{"link":{"min_delay":-5}}}`,
+		"loss_prob over 1":     `{"name":"x","engine":"event","timeline":[{"at":1,"action":"set-link","link":{"loss_prob":1.5}}]}`,
+	}
+	for label, raw := range cases {
+		if _, err := Parse([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted %s", label, raw)
+		}
+	}
+	good := `{"name":"ok","nodes":12,"timeline":[{"at":3,"action":"partition","groups":2},{"at":1,"action":"crash","fraction":0.5}]}`
+	s, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if s.Timeline[0].Action != "crash" {
+		t.Fatalf("timeline not sorted by At: %+v", s.Timeline)
+	}
+	if s.Stack.Topology != "newscast" || s.Stop.Cycles != 200 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+// TestTotalWipeoutThenRecovery: a scripted 100% crash must not end the run
+// while a later revive/join is still scheduled — outage-and-recovery is a
+// legitimate experiment shape.
+func TestTotalWipeoutThenRecovery(t *testing.T) {
+	spec := Spec{
+		Name:  "blackout",
+		Nodes: 12,
+		Seed:  13,
+		Timeline: []Event{
+			{At: 5, Action: "crash", Fraction: 1},
+			{At: 15, Action: "revive", Count: 12},
+		},
+		MetricsEvery: 5,
+		Stop:         Stop{Cycles: 30},
+	}
+	var sink captureSink
+	sums, err := Run(spec, Options{}, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0].Cycles != 30 {
+		t.Fatalf("run ended at cycle %d during the scripted outage, want 30", sums[0].Cycles)
+	}
+	liveAt := map[int64]int{}
+	for _, r := range sink.recs {
+		liveAt[r.Cycle] = r.Live
+	}
+	if liveAt[10] != 0 || liveAt[20] != 12 {
+		t.Fatalf("outage/recovery not visible in metrics: %v", liveAt)
+	}
+	// Without a scheduled recovery, the same wipeout ends the run early.
+	spec.Timeline = spec.Timeline[:1]
+	sums, err = Run(spec, Options{}, exp.DiscardSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0].Cycles >= 30 {
+		t.Fatalf("dead network without recovery ran to the horizon: %+v", sums[0])
+	}
+}
+
+// TestEventReviveActsAtScriptedTime: with every node down, engine time
+// idles at the crash; the revive must still re-arm timers at its own
+// scripted time, not back-date the restart to when the queue went quiet.
+func TestEventReviveActsAtScriptedTime(t *testing.T) {
+	spec := Spec{
+		Name:   "outage",
+		Engine: EngineEvent,
+		Nodes:  1,
+		Seed:   21,
+		Stack:  Stack{Particles: 4, GossipEvery: -1},
+		Timeline: []Event{
+			{At: 50, Action: "crash", Fraction: 1},
+			{At: 150, Action: "revive", Count: 1},
+		},
+		MetricsEvery: 50,
+		Stop:         Stop{Time: 200},
+	}
+	sums, err := Run(spec, Options{}, exp.DiscardSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node, EvalTime 1 (jitter 0.8–1.2): ~50 evals before the crash
+	// plus ~50 after the revive. A back-dated restart (t≈50 instead of
+	// 150) would evaluate through the outage and land near 200.
+	if got := sums[0].Evals; got < 70 || got > 140 {
+		t.Fatalf("%d evals: revive did not act at its scripted time", got)
+	}
+}
+
+// TestSetLinkWithoutLinkRestoresBaseline: ending a storm with a link-less
+// set-link must return to the stack's baseline link, not to a perfect
+// zero-latency lossless network.
+func TestSetLinkWithoutLinkRestoresBaseline(t *testing.T) {
+	spec := Spec{
+		Name:   "storm-end",
+		Engine: EngineEvent,
+		Nodes:  8,
+		Seed:   33,
+		Stack:  Stack{Particles: 4, Link: &Link{LossProb: 1}}, // baseline: total loss
+		Timeline: []Event{
+			{At: 50, Action: "set-link", Link: &Link{}}, // calm window
+			{At: 100, Action: "set-link"},               // back to baseline
+		},
+		MetricsEvery: 50,
+		Stop:         Stop{Time: 150},
+	}
+	var sink captureSink
+	if _, err := Run(spec, Options{}, &sink); err != nil {
+		t.Fatal(err)
+	}
+	d := map[int64]int64{}
+	for _, r := range sink.recs {
+		d[r.Cycle] = r.Dropped
+	}
+	if d[1] == 0 {
+		t.Fatalf("baseline total loss dropped nothing: %v", d)
+	}
+	if d[2] != d[1] {
+		t.Fatalf("drops during the lossless window: %v", d)
+	}
+	if d[3] <= d[2] {
+		t.Fatalf("link-less set-link left the network perfect instead of restoring the lossy baseline: %v", d)
+	}
+}
+
+// Run re-normalizes internally; the caller's Spec value — including the
+// Timeline backing array — must come back untouched.
+func TestRunDoesNotMutateCallerSpec(t *testing.T) {
+	spec := Spec{
+		Name:  "no-mutate",
+		Nodes: 8,
+		Timeline: []Event{
+			{At: 3, Action: "heal"},
+			{At: 1, Action: "partition", Groups: 2},
+		},
+		Stop: Stop{Cycles: 5},
+	}
+	if _, err := Run(spec, Options{}, exp.DiscardSink{}); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Timeline[0].Action != "heal" || spec.Timeline[1].Action != "partition" {
+		t.Fatalf("Run reordered the caller's timeline: %+v", spec.Timeline)
+	}
+}

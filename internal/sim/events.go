@@ -19,10 +19,11 @@ type Handler interface {
 
 // event is a message in flight (or a timer).
 type event struct {
-	at  float64
-	seq uint64 // tie-breaker for deterministic ordering
-	to  NodeID
-	msg any
+	at   float64
+	seq  uint64 // tie-breaker for deterministic ordering
+	from NodeID
+	to   NodeID
+	msg  any
 }
 
 type eventHeap []event
@@ -80,6 +81,7 @@ type EventEngine struct {
 	seq     uint64
 	queue   eventHeap
 	link    LinkModel
+	filter  DeliveryFilter
 
 	delivered, dropped int64
 }
@@ -100,6 +102,18 @@ func NewEventEngine(seed uint64, link LinkModel) *EventEngine {
 
 // Now returns the current simulated time.
 func (e *EventEngine) Now() float64 { return e.now }
+
+// AdvanceTo moves the clock forward to t even when no event is due — time
+// never moves backwards. RunUntil leaves the clock at the last delivered
+// event, so external schedulers (the scenario runner's scripted events)
+// advance it explicitly to make their actions happen at the scripted time:
+// a timer armed after a revive must count from the revive's time, not from
+// whenever the queue last had traffic.
+func (e *EventEngine) AdvanceTo(t float64) {
+	if t > e.now {
+		e.now = t
+	}
+}
 
 // RNG exposes the engine's random stream.
 func (e *EventEngine) RNG() *rng.RNG { return e.rng }
@@ -123,12 +137,39 @@ func (e *EventEngine) AddNode(h Handler) *Node {
 func (e *EventEngine) Node(id NodeID) *Node { return e.nodes[id] }
 
 // Crash marks a node dead; queued messages to it will be dropped on
-// delivery, exactly like a real crashed host.
+// delivery, exactly like a real crashed host. That includes its own
+// pending timers, so a later Revive must re-arm any periodic behaviour.
 func (e *EventEngine) Crash(id NodeID) {
 	if n := e.nodes[id]; n != nil {
 		n.Alive = false
 	}
 }
+
+// Revive marks a crashed node live again (a host restart). The node's
+// timers died with it — callers model the restart by scheduling fresh
+// ones with SendAfter.
+func (e *EventEngine) Revive(id NodeID) {
+	if n := e.nodes[id]; n != nil {
+		n.Alive = true
+	}
+}
+
+// SetLink swaps the link model in force for subsequent Sends — the hook
+// behind scripted latency spikes and loss storms. Messages already in
+// flight keep the latency they were assigned; nil restores the default
+// zero-latency lossless link.
+func (e *EventEngine) SetLink(l LinkModel) {
+	if l == nil {
+		l = UniformLink{}
+	}
+	e.link = l
+}
+
+// SetDeliveryFilter installs (or, with nil, removes) the partition filter.
+// It is consulted at delivery time, so messages in flight across a fresh
+// partition are lost and delivery resumes for messages arriving after the
+// heal. Self-messages (timers) are never filtered.
+func (e *EventEngine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
 
 // LiveNodes returns all live nodes in ID order.
 func (e *EventEngine) LiveNodes() []*Node {
@@ -148,18 +189,19 @@ func (e *EventEngine) Send(src, dst NodeID, msg any) {
 		return
 	}
 	at := e.now + e.link.Latency(e.rng, src, dst)
-	e.push(at, dst, msg)
+	e.push(at, src, dst, msg)
 }
 
 // SendAfter queues msg to dst after the given delay with no loss — used for
-// timers (dst == src) and for reliable local self-messages.
+// timers (dst == src) and for reliable local self-messages. Timer events
+// are never blocked by the delivery filter.
 func (e *EventEngine) SendAfter(delay float64, dst NodeID, msg any) {
-	e.push(e.now+delay, dst, msg)
+	e.push(e.now+delay, dst, dst, msg)
 }
 
-func (e *EventEngine) push(at float64, dst NodeID, msg any) {
+func (e *EventEngine) push(at float64, src, dst NodeID, msg any) {
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, to: dst, msg: msg})
+	heap.Push(&e.queue, event{at: at, seq: e.seq, from: src, to: dst, msg: msg})
 }
 
 // Step delivers the next event. It reports false when the queue is empty.
@@ -170,7 +212,7 @@ func (e *EventEngine) Step() bool {
 	ev := heap.Pop(&e.queue).(event)
 	e.now = ev.at
 	n := e.nodes[ev.to]
-	if n == nil || !n.Alive {
+	if n == nil || !n.Alive || e.filter.blocked(ev.from, ev.to) {
 		e.dropped++
 		return true
 	}

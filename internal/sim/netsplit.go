@@ -1,0 +1,35 @@
+package sim
+
+// Network partitions. Both engines accept a DeliveryFilter that decides,
+// at delivery time, whether a message can currently cross the network —
+// the mechanism behind scripted netsplit/heal events: install a filter to
+// partition the network, install nil to heal it. Messages already in
+// flight when a partition forms are judged by the filter in force at their
+// delivery time, exactly like packets on a real link that went down.
+
+// DeliveryFilter reports whether a message from one node to another is
+// currently deliverable. A nil filter means the network is whole.
+// Self-messages (timers) are never filtered.
+//
+// In the cycle engine a blocked message takes the undeliverable path (the
+// sender's Undeliverable hook fires, as for a dead destination); in the
+// event engine it is counted as dropped.
+type DeliveryFilter func(from, to NodeID) bool
+
+// SplitGroups returns a filter modelling a partition into k islands:
+// nodes are assigned to islands by ID mod k and traffic may only flow
+// between same-island nodes. Keying off the ID keeps the partition
+// well-defined for nodes that join while it is in force. k <= 1 returns
+// nil (no partition).
+func SplitGroups(k int) DeliveryFilter {
+	if k <= 1 {
+		return nil
+	}
+	kk := NodeID(k)
+	return func(from, to NodeID) bool { return from%kk == to%kk }
+}
+
+// blocked reports whether f (possibly nil) blocks a from→to message.
+func (f DeliveryFilter) blocked(from, to NodeID) bool {
+	return f != nil && from != to && !f(from, to)
+}

@@ -1,0 +1,143 @@
+package sim
+
+import "testing"
+
+func TestSplitGroups(t *testing.T) {
+	if SplitGroups(0) != nil || SplitGroups(1) != nil {
+		t.Fatal("k <= 1 must mean no partition")
+	}
+	f := SplitGroups(2)
+	if !f(0, 2) || !f(1, 3) {
+		t.Fatal("same-island traffic blocked")
+	}
+	if f(0, 1) || f(3, 2) {
+		t.Fatal("cross-island traffic allowed")
+	}
+}
+
+// TestEnginePartitionAndHeal: under a partition, cross-island pings take
+// the undeliverable path and same-island traffic is unaffected; after the
+// heal, delivery resumes.
+func TestEnginePartitionAndHeal(t *testing.T) {
+	// Ring of 4: node i pings i+1, so every ping crosses islands under a
+	// 2-way split (even→odd→even...).
+	e, protos := buildPingRing(21, 4, 1)
+	e.SetDeliveryFilter(SplitGroups(2))
+	e.Run(3)
+	for i, p := range protos {
+		if p.got != 0 || p.failed != 3 {
+			t.Fatalf("partitioned node %d: got=%d failed=%d, want 0/3", i, p.got, p.failed)
+		}
+	}
+	if e.Delivered() != 0 || e.Dropped() != 12 {
+		t.Fatalf("counters during partition: delivered=%d dropped=%d, want 0/12", e.Delivered(), e.Dropped())
+	}
+
+	e.SetDeliveryFilter(nil)
+	e.Run(2)
+	for i, p := range protos {
+		if p.got != 2 || p.failed != 3 {
+			t.Fatalf("healed node %d: got=%d failed=%d, want 2/3", i, p.got, p.failed)
+		}
+	}
+	if e.Delivered() != 8 {
+		t.Fatalf("Delivered=%d after heal, want 8", e.Delivered())
+	}
+}
+
+// TestEnginePartitionMidCycle: a filter installed by scenario code blocks
+// even messages proposed before it was installed, because filtering happens
+// at delivery time.
+func TestEnginePartitionSameSideUnaffected(t *testing.T) {
+	// 4 nodes, node i pings i+2 (stays on its island under a 2-way split).
+	e := NewEngine(22)
+	protos := make([]*pingProto, 0, 4)
+	e.SetNodeFactory(func(nd *Node) {
+		p := &pingProto{next: NodeID((int64(nd.ID) + 2) % 4)}
+		protos = append(protos, p)
+		nd.Protocols = []Protocol{p}
+	})
+	e.AddNodes(4)
+	e.SetDeliveryFilter(SplitGroups(2))
+	e.Run(3)
+	for i, p := range protos {
+		if p.got != 3 || p.failed != 0 {
+			t.Fatalf("same-island node %d: got=%d failed=%d, want 3/0", i, p.got, p.failed)
+		}
+	}
+}
+
+// TestEventEnginePartitionAndHeal is the event-engine regression test:
+// messages across a partition are dropped (including ones already in
+// flight) and delivery resumes after the heal.
+func TestEventEnginePartitionAndHeal(t *testing.T) {
+	e := NewEventEngine(23, nil)
+	ha, hb := &echoHandler{}, &echoHandler{}
+	a := e.AddNode(ha) // island 0
+	b := e.AddNode(hb) // island 1
+
+	// In flight before the partition forms, arriving during it: dropped.
+	e.SendAfter(5, a.ID, "pre-split") // timer-style self msg, never filtered
+	e.Send(a.ID, b.ID, "in-flight")   // zero-latency here, but deliver after filter set
+	e.SetDeliveryFilter(SplitGroups(2))
+	e.Send(a.ID, b.ID, "during-split")
+	for e.Step() {
+	}
+	if len(hb.got) != 0 {
+		t.Fatalf("cross-partition messages delivered: %v", hb.got)
+	}
+	if len(ha.got) != 1 || ha.got[0] != "pre-split" {
+		t.Fatalf("self-timer filtered: %v", ha.got)
+	}
+	if e.Dropped() != 2 {
+		t.Fatalf("Dropped=%d, want 2", e.Dropped())
+	}
+
+	// Heal: delivery resumes.
+	e.SetDeliveryFilter(nil)
+	e.Send(a.ID, b.ID, "after-heal")
+	for e.Step() {
+	}
+	if len(hb.got) != 1 || hb.got[0] != "after-heal" {
+		t.Fatalf("delivery did not resume after heal: %v", hb.got)
+	}
+}
+
+func TestEventEngineReviveAndSetLink(t *testing.T) {
+	e := NewEventEngine(24, nil)
+	h := &echoHandler{}
+	n := e.AddNode(h)
+	e.Crash(n.ID)
+	e.Send(n.ID, n.ID, "while-dead")
+	for e.Step() {
+	}
+	if len(h.got) != 0 {
+		t.Fatalf("dead node received %v", h.got)
+	}
+	e.Revive(n.ID)
+	if !e.Node(n.ID).Alive {
+		t.Fatal("Revive did not mark node alive")
+	}
+	e.Send(n.ID, n.ID, "after-revive")
+	for e.Step() {
+	}
+	if len(h.got) != 1 || h.got[0] != "after-revive" {
+		t.Fatalf("revived node got %v", h.got)
+	}
+
+	// SetLink swaps the model in force for subsequent sends.
+	e.SetLink(UniformLink{MinDelay: 10, MaxDelay: 10})
+	before := e.Now()
+	e.Send(n.ID, n.ID, "slow")
+	e.Step()
+	if e.Now()-before != 10 {
+		t.Fatalf("latency after SetLink: %v, want 10", e.Now()-before)
+	}
+	e.SetLink(nil) // restores the default lossless zero-latency link
+	before = e.Now()
+	e.Send(n.ID, n.ID, "fast")
+	e.Step()
+	if e.Now() != before {
+		t.Fatalf("nil SetLink not zero-latency: %v", e.Now()-before)
+	}
+}

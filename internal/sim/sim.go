@@ -97,6 +97,12 @@ type Engine struct {
 	// makeNode builds the protocol stack for a (re)joining node.
 	makeNode func(n *Node)
 
+	// filter, when non-nil, gates message delivery (network partitions).
+	filter DeliveryFilter
+	// delivered/dropped count apply-phase deliveries and messages lost to
+	// dead destinations or the delivery filter.
+	delivered, dropped int64
+
 	// observers run after every cycle.
 	observers []Observer
 
@@ -130,6 +136,20 @@ func (e *Engine) Cycle() int64 { return e.cycle }
 
 // SetChurn installs a churn model applied at the start of each cycle.
 func (e *Engine) SetChurn(c ChurnModel) { e.churn = c }
+
+// SetDeliveryFilter installs (or, with nil, removes) the delivery filter
+// consulted for every apply-phase message — the partition/heal hook for
+// scripted scenarios. Blocked messages take the same undeliverable path as
+// messages to dead nodes: the sender's Undeliverable hook fires.
+func (e *Engine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
+
+// Delivered returns the count of apply-phase messages delivered to a live,
+// reachable destination.
+func (e *Engine) Delivered() int64 { return e.delivered }
+
+// Dropped returns the count of apply-phase messages lost to a dead
+// destination or to the delivery filter (partitions).
+func (e *Engine) Dropped() int64 { return e.dropped }
 
 // SetWorkers sets the number of goroutines stepping nodes during the
 // propose phase (values < 1 mean 1). The trace is bit-identical for every
@@ -398,12 +418,15 @@ func (e *Engine) RunCycle() bool {
 }
 
 // deliver routes one message: to the destination's Receiver when the
-// destination is alive, otherwise back to the sender's Undeliverable hook
-// (the failure feedback a real initiator would get from a timed-out
-// connection).
+// destination is alive and reachable, otherwise back to the sender's
+// Undeliverable hook (the failure feedback a real initiator would get from
+// a timed-out connection). The delivery filter is consulted here, at
+// delivery time, so a partition installed mid-run also blocks messages
+// proposed earlier in the same cycle.
 func (e *Engine) deliver(m Message) {
 	dst := e.nodes[m.To]
-	if dst == nil || !dst.Alive {
+	if dst == nil || !dst.Alive || e.filter.blocked(m.From, m.To) {
+		e.dropped++
 		src := e.nodes[m.From]
 		if src == nil || m.Slot >= len(src.Protocols) {
 			return
@@ -413,6 +436,7 @@ func (e *Engine) deliver(m Message) {
 		}
 		return
 	}
+	e.delivered++
 	if m.Slot >= len(dst.Protocols) {
 		return
 	}
