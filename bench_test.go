@@ -226,6 +226,31 @@ func BenchmarkScenarioRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignParallel measures campaign-level parallelism: one
+// iteration runs an 8-repetition campaign of a built-in scenario with the
+// repetitions fanned out over a worker pool. Output is byte-identical for
+// every repworkers value (the per-rep rows are buffered and flushed in
+// repetition order), so wall-clock should scale with the workers while
+// ns/op is the only thing that moves.
+func BenchmarkCampaignParallel(b *testing.B) {
+	spec, ok := scenario.Builtin("baseline")
+	if !ok {
+		b.Fatal("builtin baseline missing")
+	}
+	for _, repWorkers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("repworkers=%d", repWorkers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scenario.Run(spec, scenario.Options{
+					Reps:       8,
+					RepWorkers: repWorkers,
+				}, exp.DiscardSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunEvalsBudgetCheck demonstrates the O(n^2) -> O(n) win on the
 // budget-driven run loop: RunEvals checks TotalEvals every cycle, which
 // used to scan all n solvers (O(n) per cycle, O(n^2) per unit of simulated

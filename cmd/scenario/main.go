@@ -6,13 +6,15 @@
 // emits structured per-cycle metrics as CSV or JSON lines.
 //
 // The same spec + seed produces byte-identical metric output at any
-// -workers value.
+// -workers (engine parallelism) and -repworkers (campaign parallelism)
+// value.
 //
 // Examples:
 //
 //	scenario -list                          # built-in scenarios
 //	scenario -run netsplit-heal             # run one built-in, CSV on stdout
 //	scenario -run baseline -reps 5 -o m.csv # seeded campaign of 5 reps
+//	scenario -run rumor-netsplit -reps 8 -repworkers 4   # parallel campaign
 //	scenario -show lossy-wan                # print a built-in as JSON
 //	scenario -spec my.json -format jsonl    # run a spec file
 package main
@@ -51,15 +53,16 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		list     = fs.Bool("list", false, "list built-in scenarios and exit")
-		name     = fs.String("run", "", "run a built-in scenario by name")
-		show     = fs.String("show", "", "print a built-in scenario as JSON and exit")
-		specPath = fs.String("spec", "", "run a scenario spec from a JSON file")
-		reps     = fs.Int("reps", 1, "repetitions in the campaign")
-		seed     = fs.Uint64("seed", 0, "override the spec's base seed (0: keep)")
-		workers  = fs.Int("workers", 1, "cycle-engine propose workers (output is identical for any value)")
-		format   = fs.String("format", "csv", "metric output format: csv or jsonl")
-		outPath  = fs.String("o", "", "write metrics to a file instead of stdout")
+		list       = fs.Bool("list", false, "list built-in scenarios and exit")
+		name       = fs.String("run", "", "run a built-in scenario by name")
+		show       = fs.String("show", "", "print a built-in scenario as JSON and exit")
+		specPath   = fs.String("spec", "", "run a scenario spec from a JSON file")
+		reps       = fs.Int("reps", 1, "repetitions in the campaign")
+		seed       = fs.Uint64("seed", 0, "override the spec's base seed (0: keep)")
+		workers    = fs.Int("workers", 1, "cycle-engine propose workers (output is identical for any value)")
+		repWorkers = fs.Int("repworkers", 1, "repetitions run in parallel (output is identical for any value)")
+		format     = fs.String("format", "csv", "metric output format: csv or jsonl")
+		outPath    = fs.String("o", "", "write metrics to a file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,14 +72,14 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	if *list {
-		fmt.Fprintf(out, "%-16s %-7s %s\n", "name", "engine", "description")
+		fmt.Fprintf(out, "%-18s %-7s %s\n", "name", "engine", "description")
 		for _, n := range scenario.BuiltinNames() {
 			s, _ := scenario.Builtin(n)
 			engine := s.Engine
 			if engine == "" {
 				engine = scenario.EngineCycle
 			}
-			fmt.Fprintf(out, "%-16s %-7s %s\n", n, engine, s.Description)
+			fmt.Fprintf(out, "%-18s %-7s %s\n", n, engine, s.Description)
 		}
 		return nil
 	}
@@ -135,9 +138,10 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	sums, err := scenario.Run(spec, scenario.Options{
-		Reps:     *reps,
-		BaseSeed: *seed,
-		Workers:  *workers,
+		Reps:       *reps,
+		BaseSeed:   *seed,
+		Workers:    *workers,
+		RepWorkers: *repWorkers,
 	}, sink)
 	if err != nil {
 		return err

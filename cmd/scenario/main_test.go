@@ -113,12 +113,14 @@ func TestBadFlagsError(t *testing.T) {
 }
 
 func TestShowEmitsRunnableSpec(t *testing.T) {
-	out, _, err := runCmd(t, "-show", "netsplit-heal")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := scenario.Parse([]byte(out)); err != nil {
-		t.Fatalf("-show output is not a parseable spec: %v\n%s", err, out)
+	for _, name := range []string{"netsplit-heal", "rumor-netsplit", "tman-ring-churn"} {
+		out, _, err := runCmd(t, "-show", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := scenario.Parse([]byte(out)); err != nil {
+			t.Fatalf("-show %s output is not a parseable spec: %v\n%s", name, err, out)
+		}
 	}
 }
 
@@ -154,6 +156,22 @@ func TestWorkerCountInvariance(t *testing.T) {
 		if one, eight := render("1"), render("8"); one != eight {
 			t.Fatalf("scenario %q: output differs between -workers 1 and -workers 8", name)
 		}
+	}
+}
+
+// TestRepWorkersInvariance is the campaign-parallelism acceptance
+// criterion at the CLI level: a -repworkers 4 campaign over a ported
+// protocol emits bytes identical to the sequential -repworkers 1 run.
+func TestRepWorkersInvariance(t *testing.T) {
+	render := func(repWorkers string) string {
+		out, _, err := runCmd(t, "-run", "rumor-netsplit", "-reps", "8", "-repworkers", repWorkers)
+		if err != nil {
+			t.Fatalf("repworkers=%s: %v", repWorkers, err)
+		}
+		return out
+	}
+	if seq, par := render("1"), render("4"); seq != par {
+		t.Fatal("output differs between -repworkers 1 and -repworkers 4")
 	}
 }
 

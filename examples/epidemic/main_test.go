@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke test: the partition must block the rumor (drops accumulate) and
+// the heal must let it finish.
+func TestEpidemicExampleCrossesAfterHeal(t *testing.T) {
+	var buf bytes.Buffer
+	run(&buf, 64, 0, 30, 60)
+	out := buf.String()
+	if !strings.Contains(out, "netsplit: two islands") {
+		t.Fatalf("netsplit marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "the rumor crossed only after the partition healed") {
+		t.Fatalf("rumor did not reach the whole network:\n%s", out)
+	}
+	if strings.Contains(out, " 0 messages dropped") {
+		t.Fatalf("partition dropped nothing:\n%s", out)
+	}
+}

@@ -249,6 +249,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// InitTopology wires the selected topology service into protocol slot
+// `slot` of every live node. Exposed so stacks other than the optimizer
+// (e.g. the scenario layer's epidemic-protocol networks) wire the same
+// substrate the same way.
+func InitTopology(eng *sim.Engine, slot int, kind TopologyKind, viewSize int) {
+	switch kind {
+	case TopoNewscast:
+		overlay.InitNewscast(eng, slot, viewSize)
+	case TopoRandom:
+		overlay.InitStatic(eng, slot, overlay.KRegularRandom(viewSize))
+	case TopoRing:
+		overlay.InitStatic(eng, slot, overlay.Ring)
+	case TopoStar:
+		overlay.InitStatic(eng, slot, overlay.Star)
+	case TopoFull:
+		overlay.InitStatic(eng, slot, overlay.FullMesh)
+	case TopoCyclon:
+		overlay.InitCyclon(eng, slot, viewSize, viewSize/2)
+	}
+}
+
 // Network is a running deployment of the framework.
 type Network struct {
 	cfg Config
@@ -291,20 +312,7 @@ func NewNetwork(cfg Config) *Network {
 	nodes := eng.AddNodes(cfg.Nodes)
 
 	// Topology service.
-	switch cfg.Topology {
-	case TopoNewscast:
-		overlay.InitNewscast(eng, SlotTopology, cfg.ViewSize)
-	case TopoRandom:
-		overlay.InitStatic(eng, SlotTopology, overlay.KRegularRandom(cfg.ViewSize))
-	case TopoRing:
-		overlay.InitStatic(eng, SlotTopology, overlay.Ring)
-	case TopoStar:
-		overlay.InitStatic(eng, SlotTopology, overlay.Star)
-	case TopoFull:
-		overlay.InitStatic(eng, SlotTopology, overlay.FullMesh)
-	case TopoCyclon:
-		overlay.InitCyclon(eng, SlotTopology, cfg.ViewSize, cfg.ViewSize/2)
-	}
+	InitTopology(eng, SlotTopology, cfg.Topology, cfg.ViewSize)
 
 	// Optimizer + coordination service. InitNewscast/InitStatic already
 	// sized the protocol slice; ensure slot 1 exists and fill it.

@@ -4,6 +4,13 @@
 // gossip-based averaging aggregation (Jelasity et al.). All protocols run on
 // the cycle-driven simulator and obtain partners from a PeerSampler
 // (Newscast or a static topology) in a configurable protocol slot.
+//
+// Every protocol in this package speaks the engine's two-phase exchange
+// contract (sim.Proposer/Receiver/Undeliverable): partners are sampled
+// during the parallel propose phase, exchanges resolve atomically during
+// the deterministic apply phase, and every message flows through the
+// engine's mailbox — so delivery filters (network partitions) and the
+// Delivered/Dropped counters apply to all of them.
 package gossip
 
 import (
@@ -43,8 +50,14 @@ func (m Mode) String() string {
 // This is the paper's coordination service in its general form: with T
 // bound to a (position, fitness) pair and Better comparing fitness it is
 // exactly the global-optimum diffusion algorithm of Section 3.3.3.
+//
+// AntiEntropy speaks the two-phase exchange contract. Propose only samples
+// the partner; the exchange resolves atomically in Receive, which reads
+// the *initiator's value at delivery time* (not a propose-time snapshot),
+// so two exchanges touching the same node in one cycle compound instead of
+// clobbering each other.
 type AntiEntropy[T any] struct {
-	// SamplerSlot is the protocol slot holding the node's PeerSampler.
+	// Slot is the protocol slot holding the node's PeerSampler.
 	Slot int
 	// SelfSlot is the protocol slot where AntiEntropy instances live.
 	SelfSlot int
@@ -60,10 +73,23 @@ type AntiEntropy[T any] struct {
 	local T
 	has   bool
 
-	// Sent counts initiated exchanges; Updated counts adoptions of a
-	// remote value (on either side).
-	Sent, Updated int64
+	// Sent counts attempted initiations — incremented as soon as a partner
+	// is sampled, before drop or liveness checks, so the counter is
+	// comparable across protocols. Lost counts initiations that died in
+	// transit (DropProb, dead peer, or network partition). Updated counts
+	// adoptions of a remote value (on either side).
+	Sent, Lost, Updated int64
 }
+
+// aeReq is the (payload-free) exchange proposal: both sides' values are
+// read from live node state during the apply phase.
+type aeReq struct{}
+
+var (
+	_ sim.Proposer      = (*AntiEntropy[int])(nil)
+	_ sim.Receiver      = (*AntiEntropy[int])(nil)
+	_ sim.Undeliverable = (*AntiEntropy[int])(nil)
+)
 
 // Local returns the node's current value and whether one is set.
 func (a *AntiEntropy[T]) Local() (T, bool) { return a.local, a.has }
@@ -87,16 +113,9 @@ func (a *AntiEntropy[T]) Offer(v T) bool {
 	return false
 }
 
-// NextCycle implements sim.Protocol: one anti-entropy exchange with a
-// sampled peer.
-func (a *AntiEntropy[T]) NextCycle(n *sim.Node, e *sim.Engine) {
-	a.Exchange(n, e)
-}
-
-// Exchange performs one exchange immediately (exposed so that other
-// protocols — e.g. the optimizer node — can trigger coordination at their
-// own rate rather than once per cycle).
-func (a *AntiEntropy[T]) Exchange(n *sim.Node, e *sim.Engine) {
+// Propose implements sim.Proposer: sample a partner from the node's own
+// view and propose one anti-entropy exchange.
+func (a *AntiEntropy[T]) Propose(n *sim.Node, px *sim.Proposals) {
 	sampler, ok := n.Protocol(a.Slot).(overlay.PeerSampler)
 	if !ok {
 		return
@@ -107,33 +126,50 @@ func (a *AntiEntropy[T]) Exchange(n *sim.Node, e *sim.Engine) {
 	}
 	a.Sent++
 	if a.DropProb > 0 && n.RNG.Bool(a.DropProb) {
+		a.Lost++
 		return // lost in transit; diffusion merely slows down
 	}
-	peer := e.Node(peerID)
-	if peer == nil || !peer.Alive {
-		return // crashed partner: exchange silently fails
+	px.Send(peerID, a.SelfSlot, aeReq{})
+}
+
+// Receive implements sim.Receiver, completing the exchange on the
+// contacted peer q (the receiver): depending on the initiator p's mode, p
+// pushes its value into q, pulls q's value, or both. Apply is sequential,
+// so reading and writing the initiator's state here is race-free and the
+// exchange is atomic.
+func (a *AntiEntropy[T]) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	if _, ok := msg.Data.(aeReq); !ok {
+		return
 	}
-	remote, ok := peer.Protocol(a.SelfSlot).(*AntiEntropy[T])
+	peer := e.Node(msg.From)
+	if peer == nil || !peer.Alive {
+		return // initiator crashed before apply: exchange evaporates
+	}
+	remote, ok := peer.Protocol(msg.Slot).(*AntiEntropy[T])
 	if !ok {
 		return
 	}
-	switch a.Mode {
+	switch remote.Mode {
 	case Push:
-		if a.has {
-			remote.Offer(a.local)
-		}
-	case Pull:
 		if remote.has {
 			a.Offer(remote.local)
+		}
+	case Pull:
+		if a.has {
+			remote.Offer(a.local)
 		}
 	case PushPull:
 		// p sends its value; q adopts it if better, otherwise q replies
 		// with its own and p adopts. Equivalent to both offering.
-		if a.has {
-			remote.Offer(a.local)
-		}
 		if remote.has {
 			a.Offer(remote.local)
 		}
+		if a.has {
+			remote.Offer(a.local)
+		}
 	}
 }
+
+// Undelivered implements sim.Undeliverable: the sampled partner was dead
+// or unreachable (partition), so the exchange is lost.
+func (a *AntiEntropy[T]) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { a.Lost++ }

@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -199,6 +200,176 @@ func TestRumorRedundantCounted(t *testing.T) {
 	})
 	if redundant == 0 {
 		t.Fatal("no redundant deliveries in a saturated network")
+	}
+}
+
+// TestRumorPartitionIsolation: with a SplitGroups(2) partition in force
+// from the first cycle, the rumor must never cross — zero infections
+// outside the seed's island — while cross-partition pushes are dropped by
+// the engine and reported to the sender as lost.
+func TestRumorPartitionIsolation(t *testing.T) {
+	e := buildNet(21, 100, func(id sim.NodeID) sim.Protocol {
+		return &Rumor{Slot: 0, SelfSlot: 1, Fanout: 2, StopProb: 0.1}
+	})
+	e.SetDeliveryFilter(sim.SplitGroups(2))
+	e.Node(0).Protocol(1).(*Rumor).Seed()
+	e.Run(40)
+	var lost int64
+	e.ForEachLive(func(n *sim.Node) {
+		r := n.Protocol(1).(*Rumor)
+		if n.ID%2 == 1 && r.Informed() {
+			t.Fatalf("rumor crossed the partition: node %d informed", n.ID)
+		}
+		lost += r.Lost
+	})
+	if got := CountInformed(e, 1); got < 40 {
+		t.Fatalf("rumor did not saturate its own island: %d informed", got)
+	}
+	if e.Dropped() == 0 || lost == 0 {
+		t.Fatalf("cross-partition pushes not accounted: dropped=%d lost=%d", e.Dropped(), lost)
+	}
+}
+
+// TestAntiEntropyPartitionIsolation: under a parity partition no value may
+// cross the cut — every even node's value stays even, every odd node's
+// stays odd — and the filtered exchanges land in Lost.
+func TestAntiEntropyPartitionIsolation(t *testing.T) {
+	e := buildNet(22, 100, func(id sim.NodeID) sim.Protocol {
+		ae := newAE(PushPull)
+		ae.SetLocal(int(id))
+		return ae
+	})
+	e.SetDeliveryFilter(sim.SplitGroups(2))
+	e.Run(30)
+	var lost int64
+	e.ForEachLive(func(n *sim.Node) {
+		ae := aeAt(e, n.ID)
+		v, _ := ae.Local()
+		if sim.NodeID(v)%2 != n.ID%2 {
+			t.Fatalf("value %d leaked across the partition to node %d", v, n.ID)
+		}
+		lost += ae.Lost
+	})
+	if e.Dropped() == 0 || lost == 0 {
+		t.Fatalf("cross-partition exchanges not accounted: dropped=%d lost=%d", e.Dropped(), lost)
+	}
+	// Each island still converges to its own best value.
+	e.ForEachLive(func(n *sim.Node) {
+		want := 98 + int(n.ID%2) // best even value is 98, best odd 99
+		if v, _ := aeAt(e, n.ID).Local(); v != want {
+			t.Fatalf("node %d at %d, island best is %d", n.ID, v, want)
+		}
+	})
+}
+
+// TestRumorSentCountsAttempts: Sent uses attempted-send semantics — the
+// counter moves even when the contact is dead, with the failure recorded
+// in Lost (previously sends to dead peers were silently uncounted).
+func TestRumorSentCountsAttempts(t *testing.T) {
+	e := buildNet(23, 20, func(id sim.NodeID) sim.Protocol {
+		return &Rumor{Slot: 0, SelfSlot: 1, Fanout: 2, StopProb: 0}
+	})
+	e.Run(3) // let views fill
+	seed := e.Node(0).Protocol(1).(*Rumor)
+	seed.Seed()
+	for id := sim.NodeID(1); id < 20; id++ {
+		e.Crash(id) // every potential contact is dead
+	}
+	e.Run(5)
+	if seed.Sent == 0 {
+		t.Fatal("attempted sends to dead peers not counted in Sent")
+	}
+	if seed.Lost != seed.Sent {
+		t.Fatalf("all contacts were dead, yet Lost=%d != Sent=%d", seed.Lost, seed.Sent)
+	}
+}
+
+// TestAntiEntropySentLostAccounting: Sent counts initiations before the
+// drop draw; DropProb=1 loses every one of them into Lost.
+func TestAntiEntropySentLostAccounting(t *testing.T) {
+	e := buildNet(24, 30, func(id sim.NodeID) sim.Protocol {
+		ae := newAE(PushPull)
+		ae.DropProb = 1
+		ae.SetLocal(int(id))
+		return ae
+	})
+	e.Run(10)
+	var sent, lost, updated int64
+	e.ForEachLive(func(n *sim.Node) {
+		ae := aeAt(e, n.ID)
+		sent += ae.Sent
+		lost += ae.Lost
+		updated += ae.Updated
+	})
+	if sent == 0 || lost != sent {
+		t.Fatalf("total loss not accounted: sent=%d lost=%d", sent, lost)
+	}
+	if updated != 0 {
+		t.Fatalf("values diffused despite 100%% drop: %d adoptions", updated)
+	}
+}
+
+// TestRumorWorkerInvariant: the ported protocol participates in the
+// parallel propose phase, so its full trace must be bit-identical for 1, 2
+// and 8 workers.
+func TestRumorWorkerInvariant(t *testing.T) {
+	state := func(workers int) []string {
+		e := sim.NewEngine(25)
+		e.SetWorkers(workers)
+		nodes := e.AddNodes(80)
+		overlay.InitNewscast(e, 0, 20)
+		for _, nd := range nodes {
+			nd.Protocols = append(nd.Protocols, &Rumor{Slot: 0, SelfSlot: 1, Fanout: 2, StopProb: 0.2})
+		}
+		e.Node(0).Protocol(1).(*Rumor).Seed()
+		e.Run(15)
+		out := make([]string, 0, 80)
+		e.ForEachLive(func(n *sim.Node) {
+			r := n.Protocol(1).(*Rumor)
+			out = append(out, fmt.Sprintf("%d:%v/%v/%d/%d/%d", n.ID, r.Informed(), r.Hot(), r.Sent, r.Lost, r.Redundant))
+		})
+		return out
+	}
+	one := state(1)
+	for _, w := range []int{2, 8} {
+		got := state(w)
+		for i := range one {
+			if one[i] != got[i] {
+				t.Fatalf("trace diverged at workers=%d: %s vs %s", w, one[i], got[i])
+			}
+		}
+	}
+}
+
+// TestAntiEntropyWorkerInvariant: same guarantee for the anti-entropy port.
+func TestAntiEntropyWorkerInvariant(t *testing.T) {
+	state := func(workers int) []int {
+		e := sim.NewEngine(26)
+		e.SetWorkers(workers)
+		nodes := e.AddNodes(80)
+		overlay.InitNewscast(e, 0, 20)
+		for _, nd := range nodes {
+			ae := newAE(PushPull)
+			ae.DropProb = 0.2
+			ae.SetLocal(int(nd.ID))
+			nd.Protocols = append(nd.Protocols, ae)
+		}
+		e.Run(12)
+		out := make([]int, 0, 80)
+		e.ForEachLive(func(n *sim.Node) {
+			v, _ := aeAt(e, n.ID).Local()
+			out = append(out, v)
+		})
+		return out
+	}
+	one := state(1)
+	for _, w := range []int{2, 8} {
+		got := state(w)
+		for i := range one {
+			if one[i] != got[i] {
+				t.Fatalf("node %d diverged at workers=%d: %d vs %d", i, w, one[i], got[i])
+			}
+		}
 	}
 }
 

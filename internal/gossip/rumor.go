@@ -11,6 +11,13 @@ import (
 // that already knows the rumor it loses interest (stops spreading) with
 // probability StopProb. Fanout and StopProb trade dissemination probability
 // against redundant traffic, exactly the k/p trade-off the paper describes.
+//
+// Rumor speaks the two-phase exchange contract: a hot node proposes its
+// Fanout contacts during the parallel propose phase; infection and the
+// loss-of-interest feedback resolve during the deterministic apply phase
+// (the "peer already knew it" signal a real spreader gets from its
+// partner's reply). Messages to dead or partitioned peers are dropped by
+// the engine and reported through Undelivered.
 type Rumor struct {
 	// Slot is the protocol slot of the node's PeerSampler.
 	Slot int
@@ -25,10 +32,22 @@ type Rumor struct {
 	informed bool
 	hot      bool
 
-	// Sent counts rumor messages sent; Redundant counts deliveries to
-	// already-informed peers.
-	Sent, Redundant int64
+	// Sent counts attempted rumor sends — incremented as soon as a partner
+	// is sampled, before liveness or reachability checks, so the counter
+	// is comparable across protocols. Lost counts sends that died in
+	// transit (dead peer or network partition). Redundant counts
+	// deliveries to already-informed peers.
+	Sent, Lost, Redundant int64
 }
+
+// rumorMsg is the (payload-free) rumor push.
+type rumorMsg struct{}
+
+var (
+	_ sim.Proposer      = (*Rumor)(nil)
+	_ sim.Receiver      = (*Rumor)(nil)
+	_ sim.Undeliverable = (*Rumor)(nil)
+)
 
 // Informed reports whether the node has received the rumor.
 func (r *Rumor) Informed() bool { return r.informed }
@@ -53,8 +72,11 @@ func (r *Rumor) receive() bool {
 	return true
 }
 
-// NextCycle implements sim.Protocol.
-func (r *Rumor) NextCycle(n *sim.Node, e *sim.Engine) {
+// Propose implements sim.Proposer: while hot, propose the cycle's Fanout
+// rumor pushes. Whether a contact hits an informed peer — and therefore
+// whether this node loses interest — is only known at apply time, so the
+// stop decision happens in Receive, on the contacted peer's side.
+func (r *Rumor) Propose(n *sim.Node, px *sim.Proposals) {
 	if !r.hot {
 		return
 	}
@@ -62,28 +84,45 @@ func (r *Rumor) NextCycle(n *sim.Node, e *sim.Engine) {
 	if !ok {
 		return
 	}
-	for i := 0; i < r.Fanout && r.hot; i++ {
+	for i := 0; i < r.Fanout; i++ {
 		peerID, ok := sampler.SamplePeer(n.RNG)
 		if !ok {
 			return
 		}
-		peer := e.Node(peerID)
-		if peer == nil || !peer.Alive {
-			continue
-		}
-		remote, ok := peer.Protocol(r.SelfSlot).(*Rumor)
-		if !ok {
-			continue
-		}
 		r.Sent++
-		if !remote.receive() {
-			// Contacted an informed peer: lose interest with prob p.
-			if n.RNG.Bool(r.StopProb) {
-				r.hot = false
-			}
-		}
+		px.Send(peerID, r.SelfSlot, rumorMsg{})
 	}
 }
+
+// Receive implements sim.Receiver: an incoming rumor either infects this
+// node or, if it already knew it, feeds back to the spreader, which loses
+// interest with probability StopProb. The draw comes from the *sender's*
+// RNG stream on the sequential apply goroutine, so the trace stays
+// worker-invariant.
+func (r *Rumor) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	if _, ok := msg.Data.(rumorMsg); !ok {
+		return
+	}
+	if r.receive() {
+		return
+	}
+	// Contacted an informed peer: the spreader loses interest with prob p.
+	peer := e.Node(msg.From)
+	if peer == nil || !peer.Alive {
+		return
+	}
+	remote, ok := peer.Protocol(msg.Slot).(*Rumor)
+	if !ok {
+		return
+	}
+	if remote.hot && peer.RNG.Bool(remote.StopProb) {
+		remote.hot = false
+	}
+}
+
+// Undelivered implements sim.Undeliverable: the contact was dead or
+// unreachable (partition), so the rumor push is lost.
+func (r *Rumor) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { r.Lost++ }
 
 // CountInformed returns how many live nodes know the rumor.
 func CountInformed(e *sim.Engine, selfSlot int) int {

@@ -17,6 +17,15 @@ import (
 // closest known peer, exchanges views, and keeps the c closest of the
 // union. Starting from a random overlay, the target topology emerges in
 // O(log n) cycles.
+//
+// TMan speaks the engine's two-phase exchange contract: Propose samples
+// the random injection and mails the node's view to its closest neighbor;
+// the symmetric merge happens atomically in Receive. A failed contact
+// reports back through Undelivered, which distinguishes a *confirmed
+// crash* (destination dead: tombstone it so third-party merges cannot
+// resurrect it) from an *unreachable* peer (network partition: drop it
+// from the view without a tombstone, so it is re-adopted once the
+// partition heals).
 type TMan struct {
 	// C is the view size. Slot is TMan's protocol slot on all nodes.
 	// RandSlot, when >= 0, points at a peer-sampling protocol used to
@@ -31,14 +40,34 @@ type TMan struct {
 
 	self  sim.NodeID
 	peers []sim.NodeID
-	// dead tombstones peers observed crashed, so third-party merges do
-	// not resurrect them. Sound because the simulator never reuses node
-	// IDs (see sim.NodeID); a real deployment would expire tombstones.
+	// dead tombstones peers whose crash was confirmed (the engine bounced
+	// a message off a dead node), so third-party merges do not resurrect
+	// them. Peers that are merely unreachable (partitions) are never
+	// tombstoned, and a direct message from a tombstoned peer — proof it
+	// restarted (scripted revive) — clears its tombstone in Receive; a
+	// real deployment would additionally expire tombstones by age.
 	dead map[sim.NodeID]bool
 
-	// Exchanges counts initiated view exchanges.
+	// Exchanges counts initiated view exchanges; Lost counts initiations
+	// that died in transit (dead peer or network partition).
 	Exchanges int64
+	Lost      int64
 }
+
+// tmanSwap is the proposed exchange: the initiator's view snapshot plus
+// its own descriptor, delivered to the closest known neighbor.
+type tmanSwap struct {
+	Peers []sim.NodeID
+}
+
+// Compile-time guards: sim.Protocol is untyped, so assert the two-phase
+// contracts explicitly — a signature drift must fail the build, not turn
+// the protocol into a silent no-op.
+var (
+	_ sim.Proposer      = (*TMan)(nil)
+	_ sim.Receiver      = (*TMan)(nil)
+	_ sim.Undeliverable = (*TMan)(nil)
+)
 
 // NewTMan creates a T-Man instance for node self.
 func NewTMan(self sim.NodeID, c, slot, randSlot int, dist func(a, b sim.NodeID) float64) *TMan {
@@ -61,28 +90,54 @@ func (t *TMan) SamplePeer(r *rng.RNG) (sim.NodeID, bool) {
 // Bootstrap seeds the view.
 func (t *TMan) Bootstrap(peers []sim.NodeID) { t.merge(peers) }
 
+// Tombstoned reports whether the peer's crash has been confirmed and it is
+// barred from re-entering the view.
+func (t *TMan) Tombstoned(id sim.NodeID) bool { return t.dead[id] }
+
 // merge folds candidates into the view, keeping the C closest distinct
-// non-self peers.
+// non-self peers. Distances are computed once per candidate (not inside
+// the sort comparator, which would re-evaluate Distance O(k log k) times
+// per merge on the protocol's hot path — see BenchmarkTManMerge).
 func (t *TMan) merge(candidates []sim.NodeID) {
+	type ranked struct {
+		id sim.NodeID
+		d  float64
+	}
 	seen := map[sim.NodeID]bool{t.self: true}
-	var all []sim.NodeID
-	for _, id := range append(append([]sim.NodeID{}, t.peers...), candidates...) {
-		if !seen[id] && !t.dead[id] {
-			seen[id] = true
-			all = append(all, id)
+	all := make([]ranked, 0, len(t.peers)+len(candidates))
+	rank := func(ids []sim.NodeID) {
+		for _, id := range ids {
+			if !seen[id] && !t.dead[id] {
+				seen[id] = true
+				all = append(all, ranked{id: id, d: t.Distance(t.self, id)})
+			}
 		}
 	}
+	rank(t.peers)
+	rank(candidates)
 	sort.Slice(all, func(i, j int) bool {
-		di, dj := t.Distance(t.self, all[i]), t.Distance(t.self, all[j])
-		if di != dj {
-			return di < dj
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
 		}
-		return all[i] < all[j]
+		return all[i].id < all[j].id
 	})
 	if len(all) > t.C {
 		all = all[:t.C]
 	}
-	t.peers = all
+	t.peers = t.peers[:0]
+	for _, c := range all {
+		t.peers = append(t.peers, c.id)
+	}
+}
+
+// remove deletes one peer from the view, preserving the distance order.
+func (t *TMan) remove(id sim.NodeID) {
+	for i, p := range t.peers {
+		if p == id {
+			t.peers = append(t.peers[:i], t.peers[i+1:]...)
+			return
+		}
+	}
 }
 
 // closest returns the nearest current neighbor.
@@ -93,14 +148,11 @@ func (t *TMan) closest() (sim.NodeID, bool) {
 	return t.peers[0], true // merge keeps peers sorted by distance
 }
 
-// Compile-time guard: T-Man still speaks the sequential contract.
-var _ sim.CycleStepper = (*TMan)(nil)
-
-// NextCycle implements sim.CycleStepper: one T-Man exchange with the
-// closest neighbor, plus an optional random-descriptor injection from the
-// underlying peer-sampling layer.
-func (t *TMan) NextCycle(n *sim.Node, e *sim.Engine) {
-	// Inject a random peer to maintain global connectivity.
+// Propose implements sim.Proposer: merge one random descriptor from the
+// underlying peer-sampling layer (maintains global connectivity), then
+// propose one view exchange with the closest neighbor. Only the node's
+// own state is touched; the symmetric merge happens in Receive.
+func (t *TMan) Propose(n *sim.Node, px *sim.Proposals) {
 	if t.RandSlot >= 0 && t.RandSlot < len(n.Protocols) {
 		if ps, ok := n.Protocol(t.RandSlot).(PeerSampler); ok {
 			if id, ok := ps.SamplePeer(n.RNG); ok {
@@ -113,25 +165,48 @@ func (t *TMan) NextCycle(n *sim.Node, e *sim.Engine) {
 		return
 	}
 	t.Exchanges++
-	peer := e.Node(target)
-	if peer == nil || !peer.Alive {
-		// Drop and tombstone the dead closest neighbor, or third-party
-		// merges would keep pinning it back into the view.
-		t.peers = t.peers[1:]
-		if t.dead == nil {
-			t.dead = make(map[sim.NodeID]bool)
-		}
-		t.dead[target] = true
-		return
-	}
-	remote, ok := peer.Protocol(t.Slot).(*TMan)
+	px.Send(target, t.Slot, tmanSwap{Peers: append(t.Neighbors(), t.self)})
+}
+
+// Receive implements sim.Receiver: complete the symmetric exchange. The
+// receiver merges the initiator's snapshot; the reply merges the
+// receiver's pre-merge view (plus its own descriptor) back into the
+// initiator — the same outcome as the historical inline exchange, applied
+// atomically on the coordinator goroutine.
+func (t *TMan) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	sw, ok := msg.Data.(tmanSwap)
 	if !ok {
 		return
 	}
+	// A message from a tombstoned peer is proof of life: the crash was
+	// confirmed once, but the node has since restarted (scripted revive).
+	// Direct contact — and only direct contact, never a third-party merge
+	// — clears the tombstone.
+	delete(t.dead, msg.From)
 	mine := append(t.Neighbors(), t.self)
-	theirs := append(remote.Neighbors(), remote.self)
-	t.merge(theirs)
-	remote.merge(mine)
+	t.merge(sw.Peers)
+	if peer := e.Node(msg.From); peer != nil && peer.Alive {
+		if remote, ok := peer.Protocol(msg.Slot).(*TMan); ok {
+			remote.merge(mine)
+		}
+	}
+}
+
+// Undelivered implements sim.Undeliverable: the exchange died in transit.
+// A dead destination is a confirmed crash — drop it and tombstone it, or
+// third-party merges would keep pinning it back into the view. A live but
+// unreachable destination (delivery filter, i.e. a partition) is only
+// dropped: no tombstone, so the peer is re-adopted through merges or
+// random injection once the partition heals.
+func (t *TMan) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
+	t.Lost++
+	t.remove(msg.To)
+	if dst := e.Node(msg.To); dst == nil || !dst.Alive {
+		if t.dead == nil {
+			t.dead = make(map[sim.NodeID]bool)
+		}
+		t.dead[msg.To] = true
+	}
 }
 
 // RingDistance returns a distance function for building a ring over node
@@ -142,8 +217,8 @@ func RingDistance(n int) func(a, b sim.NodeID) float64 {
 		if d < 0 {
 			d = -d
 		}
-		wrap := int64(n) - d
-		if wrap < d {
+		d %= int64(n)
+		if wrap := int64(n) - d; wrap < d {
 			d = wrap
 		}
 		return float64(d)

@@ -128,3 +128,222 @@ func TestTManEmptyView(t *testing.T) {
 		t.Fatal("closest on empty view")
 	}
 }
+
+// TestTManPartitionNoLeak: two islands bootstrapped with zero knowledge of
+// each other, separated by a delivery filter from the first cycle. Since
+// every message now flows through the engine's mailbox, no view — T-Man's
+// or the Newscast substrate's — may ever gain a cross-partition entry.
+func TestTManPartitionNoLeak(t *testing.T) {
+	const n = 40
+	e := sim.NewEngine(7)
+	e.AddNodes(n)
+	e.SetDeliveryFilter(sim.SplitGroups(2))
+	// Hand-wire both layers with same-parity-only bootstrap views.
+	side := func(parity sim.NodeID) []sim.NodeID {
+		var ids []sim.NodeID
+		for id := parity; int(id) < n; id += 2 {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	for _, nd := range e.AllNodes() {
+		peers := make([]sim.NodeID, 0, n/2)
+		for _, id := range side(nd.ID % 2) {
+			if id != nd.ID {
+				peers = append(peers, id)
+			}
+		}
+		nc := NewNewscast(nd.ID, 8, 0)
+		nc.Bootstrap(peers[:4])
+		tm := NewTMan(nd.ID, 4, 1, 0, RingDistance(n))
+		tm.Bootstrap(peers)
+		nd.Protocols = []sim.Protocol{nc, tm}
+	}
+	for c := 0; c < 30; c++ {
+		e.RunCycle()
+		e.ForEachLive(func(nd *sim.Node) {
+			for _, nb := range nd.Protocol(1).(*TMan).Neighbors() {
+				if nb%2 != nd.ID%2 {
+					t.Fatalf("cycle %d: T-Man view of node %d leaked cross-partition entry %d", c, nd.ID, nb)
+				}
+			}
+			for _, nb := range nd.Protocol(0).(*Newscast).Neighbors() {
+				if nb%2 != nd.ID%2 {
+					t.Fatalf("cycle %d: Newscast view of node %d leaked cross-partition entry %d", c, nd.ID, nb)
+				}
+			}
+		})
+	}
+}
+
+// TestTManPartitionHealReadoption is the tombstone-semantics regression
+// test: an *unreachable* (partitioned) closest neighbor must be dropped
+// without a tombstone and re-adopted after the heal. Under the old
+// behavior any failed contact tombstoned the live peer forever, so the
+// ring could never re-form across a healed cut.
+func TestTManPartitionHealReadoption(t *testing.T) {
+	const n = 32
+	e := buildTManNet(8, n, 4)
+	e.Run(10) // let the ring start forming with cross-parity neighbors
+	e.SetDeliveryFilter(sim.SplitGroups(2))
+	e.Run(15) // every ring neighbor (distance 1 = opposite parity) is cut off
+	d := RingDistance(n)
+	e.ForEachLive(func(nd *sim.Node) {
+		tm := nd.Protocol(1).(*TMan)
+		for _, other := range e.AllNodes() {
+			if other.ID != nd.ID && other.Alive && tm.Tombstoned(other.ID) {
+				t.Fatalf("node %d tombstoned live-but-unreachable peer %d", nd.ID, other.ID)
+			}
+		}
+	})
+	e.SetDeliveryFilter(nil) // heal
+	e.Run(25)
+	readopted := 0
+	e.ForEachLive(func(nd *sim.Node) {
+		for _, nb := range nd.Protocol(1).(*TMan).Neighbors() {
+			if d(nd.ID, nb) == 1 { // ring neighbors are opposite parity
+				readopted++
+				break
+			}
+		}
+	})
+	if readopted < n*80/100 {
+		t.Fatalf("only %d/%d nodes re-adopted a cross-partition ring neighbor after heal", readopted, n)
+	}
+}
+
+// TestTManCrashTombstones: a *confirmed* crash (dead destination) must
+// still tombstone, so third-party merges cannot resurrect dead peers.
+func TestTManCrashTombstones(t *testing.T) {
+	e := buildTManNet(9, 16, 4)
+	e.Run(10)
+	e.Crash(3)
+	e.Run(10)
+	tombstoned := 0
+	e.ForEachLive(func(nd *sim.Node) {
+		tm := nd.Protocol(1).(*TMan)
+		if tm.Tombstoned(3) {
+			tombstoned++
+			for _, nb := range tm.Neighbors() {
+				if nb == 3 {
+					t.Fatalf("node %d tombstoned node 3 but kept it in view", nd.ID)
+				}
+			}
+		}
+	})
+	// Only a node that actually contacts the dead peer (it was the
+	// closest view entry) confirms the crash; at least its ring successor
+	// must have (the predecessor's equal-distance tie breaks to the lower
+	// ID, so it may never initiate toward 3).
+	if tombstoned < 1 {
+		t.Fatal("no node tombstoned the confirmed-crashed peer")
+	}
+}
+
+// TestTManReviveClearsTombstone: a tombstone records a *confirmed* crash,
+// but a direct message from the tombstoned peer proves it restarted
+// (scripted revive reuses the ID), so the tombstone must clear and the
+// peer must be re-adopted.
+func TestTManReviveClearsTombstone(t *testing.T) {
+	const n = 16
+	e := buildTManNet(11, n, 4)
+	e.Run(10)
+	e.Crash(3)
+	e.Run(10) // node 4 contacts its closest neighbor 3 and tombstones it
+	if !e.Node(4).Protocol(1).(*TMan).Tombstoned(3) {
+		t.Fatal("precondition: node 4 did not tombstone crashed node 3")
+	}
+	e.Revive(3)
+	e.Run(20) // 3's own view survived the outage, so it re-initiates
+	tm := e.Node(4).Protocol(1).(*TMan)
+	if tm.Tombstoned(3) {
+		t.Fatal("tombstone survived direct contact from the revived peer")
+	}
+	found := false
+	for _, nb := range tm.Neighbors() {
+		if nb == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("revived ring neighbor 3 not re-adopted by node 4: view %v", tm.Neighbors())
+	}
+}
+
+// TestTManWorkerInvariant: the ported protocol runs in the parallel
+// propose phase; its views must be bit-identical for 1, 2 and 8 workers.
+func TestTManWorkerInvariant(t *testing.T) {
+	views := func(workers int) [][]sim.NodeID {
+		e := sim.NewEngine(10)
+		e.SetWorkers(workers)
+		e.AddNodes(64)
+		InitNewscast(e, 0, 20)
+		InitTMan(e, 1, 0, 4, RingDistance(64))
+		e.Run(20)
+		out := make([][]sim.NodeID, 0, 64)
+		e.ForEachLive(func(nd *sim.Node) {
+			out = append(out, nd.Protocol(1).(*TMan).Neighbors())
+		})
+		return out
+	}
+	one := views(1)
+	for _, w := range []int{2, 8} {
+		got := views(w)
+		for i := range one {
+			if len(one[i]) != len(got[i]) {
+				t.Fatalf("node %d view size diverged at workers=%d", i, w)
+			}
+			for j := range one[i] {
+				if one[i][j] != got[i][j] {
+					t.Fatalf("node %d view diverged at workers=%d: %v vs %v", i, w, one[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTManMergeDistanceCallsLinear pins the merge optimization: Distance
+// is evaluated exactly once per distinct candidate, not O(k log k) times
+// inside the sort comparator.
+func TestTManMergeDistanceCallsLinear(t *testing.T) {
+	calls := 0
+	tm := NewTMan(0, 8, 0, -1, func(a, b sim.NodeID) float64 {
+		calls++
+		return RingDistance(64)(a, b)
+	})
+	first := make([]sim.NodeID, 0, 16)
+	for id := sim.NodeID(1); id <= 16; id++ {
+		first = append(first, id)
+	}
+	tm.merge(first)
+	if calls != 16 {
+		t.Fatalf("merge of 16 fresh candidates evaluated Distance %d times, want 16", calls)
+	}
+	calls = 0
+	tm.merge([]sim.NodeID{20, 21, 22, 23})
+	// 8 kept view entries + 4 new candidates, each ranked exactly once.
+	if calls != 12 {
+		t.Fatalf("merge re-ranking 8+4 ids evaluated Distance %d times, want 12", calls)
+	}
+}
+
+// BenchmarkTManMerge exercises the protocol's hot path: folding a view-
+// sized candidate batch into a full view, as every exchange does.
+func BenchmarkTManMerge(b *testing.B) {
+	const c = 20
+	tm := NewTMan(0, c, 0, -1, RingDistance(4096))
+	seed := make([]sim.NodeID, 0, c)
+	for id := sim.NodeID(1); int(id) <= c; id++ {
+		seed = append(seed, id*3)
+	}
+	tm.Bootstrap(seed)
+	batch := make([]sim.NodeID, c)
+	for i := range batch {
+		batch[i] = sim.NodeID(2000 + i*5)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.merge(batch)
+	}
+}

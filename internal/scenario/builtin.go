@@ -90,8 +90,52 @@ func builtins() map[string]Spec {
 			MetricsEvery: 20,
 			Stop:         Stop{Cycles: 240},
 		},
+		"rumor-netsplit": {
+			Name:        "rumor-netsplit",
+			Description: "Rumor mongering behind a netsplit: the rumor saturates the seed's island while the cut holds, then crosses after the heal.",
+			Nodes:       64,
+			Seed:        7,
+			// Static substrate: a Newscast overlay would segregate into the
+			// two islands during the cut (cross descriptors age out and
+			// nothing re-bridges the views after the heal), whereas a fixed
+			// random graph keeps its cross-links, so the rumor can jump once
+			// delivery resumes. The low stop probability keeps spreaders hot
+			// through the window — a cold rumor cannot cross any heal.
+			Stack: Stack{Topology: "random", ViewSize: 8, Protocol: ProtocolRumor, Fanout: 2, StopProb: fptr(0.05)},
+			Timeline: []Event{
+				{At: 0, Action: "partition", Groups: 2},
+				{At: 20, Action: "heal"},
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 80},
+		},
+		"antientropy-lossy": {
+			Name:         "antientropy-lossy",
+			Description:  "Push-pull anti-entropy with 30% message loss: diffusion slows down but still converges (paper §3.3.4).",
+			Nodes:        64,
+			Seed:         8,
+			Stack:        Stack{Protocol: ProtocolAntiEntropy, DropProb: 0.3},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 80},
+		},
+		"tman-ring-churn": {
+			Name:        "tman-ring-churn",
+			Description: "T-Man builds a ring while a quarter of the nodes crash mid-construction and later restart.",
+			Nodes:       64,
+			Seed:        9,
+			Stack:       Stack{Protocol: ProtocolTMan, TManC: 4},
+			Timeline: []Event{
+				{At: 30, Action: "crash", Fraction: 0.25},
+				{At: 60, Action: "revive", Count: 16},
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 120},
+		},
 	}
 }
+
+// fptr builds the pointer-valued probability knobs of a Spec literal.
+func fptr(v float64) *float64 { return &v }
 
 // Builtin returns the named built-in scenario.
 func Builtin(name string) (Spec, bool) {

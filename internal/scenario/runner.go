@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gossipopt/internal/core"
 	"gossipopt/internal/exp"
@@ -21,6 +22,12 @@ type Options struct {
 	// bit-identical for every value (the event engine is single-threaded
 	// and ignores it).
 	Workers int
+	// RepWorkers runs repetitions on a bounded worker pool (<= 1:
+	// sequential). Each repetition's rows are buffered and flushed into
+	// the sink in repetition order, so the emitted bytes are identical to
+	// the sequential runner's for every value — RepWorkers, like Workers,
+	// only changes wall-clock speed.
+	RepWorkers int
 }
 
 // RepSummary is the end-of-run state of one repetition.
@@ -36,8 +43,11 @@ type RepSummary struct {
 }
 
 // Run executes a campaign: Reps repetitions of the spec, each emitting its
-// metric schedule into sink. Repetitions run sequentially so the emitted
-// rows have one canonical order — the determinism the golden tests pin.
+// metric schedule into sink. The emitted rows always appear in repetition
+// order — the canonical order the golden tests pin: with RepWorkers <= 1
+// the repetitions literally run sequentially; with a worker pool each
+// repetition buffers its rows and they are flushed in repetition order, so
+// the output bytes are identical either way.
 func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	spec, err := spec.normalized()
 	if err != nil {
@@ -51,49 +61,124 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	if base == 0 {
 		base = spec.Seed
 	}
+	if opts.RepWorkers > 1 && reps > 1 {
+		return runParallel(spec, base, reps, opts, sink)
+	}
 	summaries := make([]RepSummary, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		seed := exp.SeedFor(base, 0, rep)
-		var sum RepSummary
-		if spec.Engine == EngineEvent {
-			sum, err = runEventRep(spec, seed, rep, sink)
-		} else {
-			sum, err = runCycleRep(spec, seed, rep, opts.Workers, sink)
-		}
+		sum, err := runRep(spec, base, rep, opts.Workers, sink)
 		if err != nil {
 			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
 		}
-		sum.Rep, sum.Seed = rep, seed
 		summaries = append(summaries, sum)
 	}
 	return summaries, sink.Flush()
 }
 
-// runCycleRep compiles the spec onto the cycle engine and runs one
-// repetition. Spec names are pre-validated, so registry lookups cannot
-// fail here.
-func runCycleRep(s Spec, seed uint64, rep, workers int, sink exp.Sink) (RepSummary, error) {
-	fn, _ := funcs.ByName(s.Stack.Function)
-	topo, _ := core.TopologyByName(s.Stack.Topology)
-	factory, _ := core.SolversByName(s.Stack.Solvers, s.Stack.Particles)
+// runRep executes one repetition with its derived seed.
+func runRep(spec Spec, base uint64, rep, workers int, sink exp.Sink) (RepSummary, error) {
+	seed := exp.SeedFor(base, 0, rep)
+	var sum RepSummary
+	var err error
+	if spec.Engine == EngineEvent {
+		sum, err = runEventRep(spec, seed, rep, sink)
+	} else {
+		sum, err = runCycleRep(spec, seed, rep, workers, sink)
+	}
+	sum.Rep, sum.Seed = rep, seed
+	return sum, err
+}
 
-	net := core.NewNetwork(core.Config{
-		Nodes:         s.Nodes,
-		Particles:     s.Stack.Particles,
-		GossipEvery:   gossipEvery(s.Stack.GossipEvery),
-		ViewSize:      s.Stack.ViewSize,
-		Function:      fn,
-		Dim:           s.Stack.Dim,
-		Seed:          seed,
-		Topology:      topo,
-		SolverFactory: factory,
-		DropProb:      s.Stack.DropProb,
-		Workers:       workers,
-	})
+// bufferSink collects a repetition's rows in memory so a parallel campaign
+// can replay them into the real sink in repetition order.
+type bufferSink struct{ recs []exp.Record }
+
+func (b *bufferSink) Emit(r exp.Record) error { b.recs = append(b.recs, r); return nil }
+func (b *bufferSink) Flush() error            { return nil }
+
+// runParallel fans the repetitions out over a bounded worker pool. Each
+// repetition is seeded from (base, rep) exactly as in the sequential path
+// and writes into a private buffer; buffers are then replayed into sink in
+// repetition order, so the byte stream — including a CSV sink's
+// header-before-first-row behavior — matches the sequential runner's.
+func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) ([]RepSummary, error) {
+	workers := opts.RepWorkers
+	if workers > reps {
+		workers = reps
+	}
+	type repOut struct {
+		sum  RepSummary
+		recs []exp.Record
+		err  error
+	}
+	outs := make([]repOut, reps)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				var buf bufferSink
+				sum, err := runRep(spec, base, rep, opts.Workers, &buf)
+				outs[rep] = repOut{sum: sum, recs: buf.recs, err: err}
+			}
+		}()
+	}
+	for rep := 0; rep < reps; rep++ {
+		jobs <- rep
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Flush in repetition order, stopping at the first failed repetition —
+	// the same rows and summaries the sequential runner would have
+	// produced before hitting that error.
+	summaries := make([]RepSummary, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		if outs[rep].err != nil {
+			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, outs[rep].err)
+		}
+		for _, r := range outs[rep].recs {
+			if err := sink.Emit(r); err != nil {
+				return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
+			}
+		}
+		summaries = append(summaries, outs[rep].sum)
+	}
+	return summaries, sink.Flush()
+}
+
+// runCycleRep compiles the spec onto the cycle engine — the optimizer
+// network, or one of the epidemic-protocol networks when stack.protocol
+// says so — and runs one repetition. Spec names are pre-validated, so
+// registry lookups cannot fail here.
+func runCycleRep(s Spec, seed uint64, rep, workers int, sink exp.Sink) (RepSummary, error) {
+	var net cycleNet
+	if mkNet, ok := protocolBuilders[s.Stack.Protocol]; ok {
+		net = mkNet(s, seed, workers)
+	} else {
+		fn, _ := funcs.ByName(s.Stack.Function)
+		topo, _ := core.TopologyByName(s.Stack.Topology)
+		factory, _ := core.SolversByName(s.Stack.Solvers, s.Stack.Particles)
+		net = optNet{core.NewNetwork(core.Config{
+			Nodes:         s.Nodes,
+			Particles:     s.Stack.Particles,
+			GossipEvery:   gossipEvery(s.Stack.GossipEvery),
+			ViewSize:      s.Stack.ViewSize,
+			Function:      fn,
+			Dim:           s.Stack.Dim,
+			Seed:          seed,
+			Topology:      topo,
+			SolverFactory: factory,
+			DropProb:      s.Stack.DropProb,
+			Workers:       workers,
+		})}
+	}
 	eng := net.Engine()
 
 	emit := func(cycle int64) error {
-		m := net.Metrics()
+		exchanges, lost, adoptions := net.Counters()
 		return sink.Emit(exp.Record{
 			Scenario:  s.Name,
 			Rep:       rep,
@@ -103,9 +188,9 @@ func runCycleRep(s Spec, seed uint64, rep, workers int, sink exp.Sink) (RepSumma
 			Live:      eng.LiveCount(),
 			Evals:     net.TotalEvals(),
 			Quality:   net.Quality(),
-			Exchanges: m.Exchanges,
-			Lost:      m.LostExchanges,
-			Adoptions: m.Adoptions,
+			Exchanges: exchanges,
+			Lost:      lost,
+			Adoptions: adoptions,
 			Delivered: eng.Delivered(),
 			Dropped:   eng.Dropped(),
 		})

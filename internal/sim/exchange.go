@@ -56,7 +56,12 @@ type Proposer interface {
 
 // Receiver is the phase-2 contract: Receive handles one delivered message.
 // It runs sequentially on the coordinator and may mutate any node,
-// typically its own state plus a symmetric reply into the sender's.
+// typically its own state plus a symmetric reply into the sender's. The
+// delivery filter is consulted for the initiating message only; a
+// delivered exchange completes atomically, reply leg included — so a
+// filter models a link being down (no exchange at all), not a one-way
+// cut. Per-link asymmetric filters would need the reply routed as its
+// own message.
 type Receiver interface {
 	Receive(n *Node, e *Engine, msg Message)
 }

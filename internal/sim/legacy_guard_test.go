@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoLegacyProtocolsRemain is the grep-guard for the completed
+// propose/apply migration: every bundled protocol in internal/gossip and
+// internal/overlay must speak the two-phase exchange contract, so none may
+// define (or reference) the sequential NextCycle hook. A protocol stepped
+// through CycleStepper mutates peers directly via e.Node(...), silently
+// bypassing the delivery filter — partitions and the Delivered/Dropped
+// counters would simply not apply to it. CycleStepper itself stays
+// supported by the engine for out-of-tree protocols; the bundled ones must
+// not regress onto it.
+func TestNoLegacyProtocolsRemain(t *testing.T) {
+	for _, dir := range []string{"../gossip", "../overlay"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, entry := range entries {
+			if entry.IsDir() || !strings.HasSuffix(entry.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, entry.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(string(data), "NextCycle") {
+				t.Errorf("%s references NextCycle: bundled protocols must use the Proposer/Receiver/Undeliverable contract so partitions and message counters apply to them", path)
+			}
+		}
+	}
+}

@@ -41,6 +41,14 @@ type NodeID int64
 //
 // A protocol implementing both is driven through the Proposer contract.
 //
+// CycleStepper is deprecated for new protocols: a NextCycle body reaches
+// into peers via e.Node(...), so its traffic never passes through the
+// mailbox — delivery filters (partitions) and the Delivered/Dropped
+// counters silently do not apply to it, and it caps a cycle's
+// parallelism. Every bundled protocol speaks Proposer (a guard test in
+// this package keeps internal/gossip and internal/overlay free of
+// NextCycle); the sequential path remains only for out-of-tree code.
+//
 // Protocol is intentionally untyped (a slot may hold either contract), so
 // a drifted method signature compiles and the engine silently skips the
 // protocol. Guard against that with a compile-time assertion next to every
