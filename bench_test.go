@@ -251,6 +251,30 @@ func BenchmarkCampaignParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures the sweep layer end to end: one iteration
+// expands a built-in sweep's 2x2 grid and runs every cell x repetition
+// job on the pool (grid expansion, overridden-spec campaigns, per-cell
+// aggregation). Output is byte-identical for every sweepworkers value, so
+// only wall-clock moves with the pool size.
+func BenchmarkSweep(b *testing.B) {
+	sw, ok := scenario.BuiltinSweep("overlay-vs-churn")
+	if !ok {
+		b.Fatal("builtin sweep overlay-vs-churn missing")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sweepworkers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scenario.RunSweep(sw, scenario.Options{
+					Reps:       2,
+					RepWorkers: workers,
+				}, exp.DiscardSink{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunEvalsBudgetCheck demonstrates the O(n^2) -> O(n) win on the
 // budget-driven run loop: RunEvals checks TotalEvals every cycle, which
 // used to scan all n solvers (O(n) per cycle, O(n^2) per unit of simulated

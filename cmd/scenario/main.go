@@ -5,18 +5,27 @@
 // conditions; this command runs a seeded campaign of repetitions and
 // emits structured per-cycle metrics as CSV or JSON lines.
 //
+// A sweep spec (-sweep) is a base scenario plus a grid of named override
+// axes; every grid cell runs its repetitions on one bounded worker pool
+// (-sweepworkers), the per-cycle rows stream out in cell-then-repetition
+// order, each cell is aggregated (min/mean/max/stddev per metric at the
+// final sample, plus time-to-threshold) into a summary table (-summary),
+// and a human-readable comparison report lands on stderr.
+//
 // The same spec + seed produces byte-identical metric output at any
-// -workers (engine parallelism) and -repworkers (campaign parallelism)
-// value.
+// -workers (engine parallelism), -repworkers (campaign parallelism) and
+// -sweepworkers (sweep pool) value.
 //
 // Examples:
 //
-//	scenario -list                          # built-in scenarios
+//	scenario -list                          # built-in scenarios and sweeps
 //	scenario -run netsplit-heal             # run one built-in, CSV on stdout
 //	scenario -run baseline -reps 5 -o m.csv # seeded campaign of 5 reps
 //	scenario -run rumor-netsplit -reps 8 -repworkers 4   # parallel campaign
 //	scenario -show lossy-wan                # print a built-in as JSON
 //	scenario -spec my.json -format jsonl    # run a spec file
+//	scenario -sweep overlay-vs-churn -sweepworkers 8 -o rows.csv -summary cells.csv
+//	scenario -sweep my-sweep.json -reps 10  # sweep from a file
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"gossipopt/internal/exp"
 	"gossipopt/internal/scenario"
@@ -53,16 +63,19 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		list       = fs.Bool("list", false, "list built-in scenarios and exit")
-		name       = fs.String("run", "", "run a built-in scenario by name")
-		show       = fs.String("show", "", "print a built-in scenario as JSON and exit")
-		specPath   = fs.String("spec", "", "run a scenario spec from a JSON file")
-		reps       = fs.Int("reps", 1, "repetitions in the campaign")
-		seed       = fs.Uint64("seed", 0, "override the spec's base seed (0: keep)")
-		workers    = fs.Int("workers", 1, "cycle-engine propose workers (output is identical for any value)")
-		repWorkers = fs.Int("repworkers", 1, "repetitions run in parallel (output is identical for any value)")
-		format     = fs.String("format", "csv", "metric output format: csv or jsonl")
-		outPath    = fs.String("o", "", "write metrics to a file instead of stdout")
+		list         = fs.Bool("list", false, "list built-in scenarios and sweeps and exit")
+		name         = fs.String("run", "", "run a built-in scenario by name")
+		show         = fs.String("show", "", "print a built-in scenario or sweep as JSON and exit")
+		specPath     = fs.String("spec", "", "run a scenario spec from a JSON file")
+		sweepName    = fs.String("sweep", "", "run a sweep: a built-in sweep name or a JSON file")
+		reps         = fs.Int("reps", 1, "repetitions in the campaign (sweeps: per cell; 0 keeps the sweep's default)")
+		seed         = fs.Uint64("seed", 0, "override the spec's base seed (0: keep)")
+		workers      = fs.Int("workers", 1, "cycle-engine propose workers (output is identical for any value)")
+		repWorkers   = fs.Int("repworkers", 1, "repetitions run in parallel (output is identical for any value)")
+		sweepWorkers = fs.Int("sweepworkers", 1, "sweep pool size: cell×rep jobs run in parallel (output is identical for any value)")
+		format       = fs.String("format", "csv", "metric output format: csv or jsonl")
+		outPath      = fs.String("o", "", "write metrics to a file instead of stdout")
+		summaryPath  = fs.String("summary", "", "sweeps: write the aggregated per-cell summary table to this file (same -format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +83,8 @@ func run(args []string, out, errOut io.Writer) error {
 		}
 		return errBadFlags
 	}
+	setFlags := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	if *list {
 		fmt.Fprintf(out, "%-18s %-7s %s\n", "name", "engine", "description")
@@ -81,43 +96,102 @@ func run(args []string, out, errOut io.Writer) error {
 			}
 			fmt.Fprintf(out, "%-18s %-7s %s\n", n, engine, s.Description)
 		}
+		fmt.Fprintf(out, "\n%-18s %-7s %s\n", "sweep", "cells", "description")
+		for _, n := range scenario.BuiltinSweepNames() {
+			sw, _ := scenario.BuiltinSweep(n)
+			cells, err := sw.Cells()
+			if err != nil {
+				return fmt.Errorf("built-in sweep %q: %w", n, err)
+			}
+			fmt.Fprintf(out, "%-18s %-7d %s\n", n, len(cells), sw.Description)
+		}
 		return nil
 	}
 	if *show != "" {
-		s, ok := scenario.Builtin(*show)
-		if !ok {
-			return unknownScenario(*show)
-		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(s)
+		if s, ok := scenario.Builtin(*show); ok {
+			return enc.Encode(s)
+		}
+		if sw, ok := scenario.BuiltinSweep(*show); ok {
+			return enc.Encode(sw)
+		}
+		return unknownScenario(*show)
 	}
 
-	var spec scenario.Spec
-	switch {
-	case *name != "" && *specPath != "":
-		return fmt.Errorf("-run and -spec are mutually exclusive")
-	case *name != "":
-		s, ok := scenario.Builtin(*name)
-		if !ok {
-			return unknownScenario(*name)
+	modes := 0
+	for _, m := range []string{*name, *specPath, *sweepName} {
+		if m != "" {
+			modes++
 		}
-		spec = s
-	case *specPath != "":
-		data, err := os.ReadFile(*specPath)
-		if err != nil {
-			return err
-		}
-		s, err := scenario.Parse(data)
-		if err != nil {
-			return err
-		}
-		spec = s
-	default:
+	}
+	if modes > 1 {
+		return fmt.Errorf("-run, -spec and -sweep are mutually exclusive")
+	}
+	if modes == 0 {
 		fs.Usage()
 		return errBadFlags
 	}
 
+	// Resolve the mode — names, spec files, and flag combinations — before
+	// any output file is created: a typo'd name must not truncate an
+	// existing results file. Mode-foreign parallelism/output flags are
+	// rejected rather than silently ignored, the same strictness the spec
+	// layer applies to unknown fields.
+	var (
+		sw    scenario.SweepSpec
+		spec  scenario.Spec
+		isSwp = *sweepName != ""
+	)
+	if isSwp {
+		if setFlags["repworkers"] {
+			return fmt.Errorf("-repworkers applies to -run/-spec campaigns; sweeps parallelize with -sweepworkers")
+		}
+		s, ok := scenario.BuiltinSweep(*sweepName)
+		if !ok {
+			data, err := os.ReadFile(*sweepName)
+			if err != nil {
+				if os.IsNotExist(err) && !strings.ContainsAny(*sweepName, "./") {
+					return fmt.Errorf("unknown sweep %q; built-in sweeps: %v (or pass a JSON file)",
+						*sweepName, scenario.BuiltinSweepNames())
+				}
+				return err
+			}
+			if s, err = scenario.ParseSweep(data); err != nil {
+				return err
+			}
+		}
+		sw = s
+	} else {
+		if setFlags["sweepworkers"] {
+			return fmt.Errorf("-sweepworkers applies to -sweep; campaigns parallelize with -repworkers")
+		}
+		if setFlags["summary"] {
+			return fmt.Errorf("-summary applies to -sweep (only sweeps aggregate cells)")
+		}
+		switch {
+		case *name != "":
+			s, ok := scenario.Builtin(*name)
+			if !ok {
+				return unknownScenario(*name)
+			}
+			spec = s
+		default: // *specPath != ""
+			data, err := os.ReadFile(*specPath)
+			if err != nil {
+				return err
+			}
+			s, err := scenario.Parse(data)
+			if err != nil {
+				return err
+			}
+			spec = s
+		}
+	}
+
+	if *format != "csv" && *format != "jsonl" {
+		return fmt.Errorf("unknown -format %q (want csv or jsonl)", *format)
+	}
 	w := out
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -128,13 +202,47 @@ func run(args []string, out, errOut io.Writer) error {
 		w = f
 	}
 	var sink exp.Sink
-	switch *format {
-	case "csv":
+	if *format == "csv" {
 		sink = exp.NewCSVSink(w)
-	case "jsonl":
+	} else {
 		sink = exp.NewJSONLSink(w)
-	default:
-		return fmt.Errorf("unknown -format %q (want csv or jsonl)", *format)
+	}
+
+	if isSwp {
+		opts := scenario.Options{
+			BaseSeed:   *seed,
+			Workers:    *workers,
+			RepWorkers: *sweepWorkers,
+		}
+		if setFlags["reps"] {
+			opts.Reps = *reps
+		}
+		results, err := scenario.RunSweep(sw, opts, sink)
+		if err != nil {
+			return err
+		}
+		cells := make([]exp.CellSummary, len(results))
+		for i, r := range results {
+			cells[i] = r.Summary
+		}
+		if *summaryPath != "" {
+			f, err := os.Create(*summaryPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			switch *format {
+			case "csv":
+				err = exp.WriteCellSummariesCSV(f, cells)
+			case "jsonl":
+				err = exp.WriteCellSummariesJSONL(f, cells)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprint(errOut, exp.SweepReport(sw.Name, cells))
+		return nil
 	}
 
 	sums, err := scenario.Run(spec, scenario.Options{
@@ -155,6 +263,6 @@ func run(args []string, out, errOut io.Writer) error {
 
 // unknownScenario names the vocabulary, so a typo is self-correcting.
 func unknownScenario(name string) error {
-	names := scenario.BuiltinNames()
-	return fmt.Errorf("unknown scenario %q; built-in scenarios: %v", name, names)
+	return fmt.Errorf("unknown scenario %q; built-in scenarios: %v, sweeps: %v",
+		name, scenario.BuiltinNames(), scenario.BuiltinSweepNames())
 }

@@ -23,6 +23,7 @@ type deskPool struct {
 	catastrophe *sim.CatastropheChurn
 }
 
+// Apply implements sim.ChurnModel by composing both models.
 func (d *deskPool) Apply(e *sim.Engine) {
 	d.background.Apply(e)
 	d.catastrophe.Apply(e)

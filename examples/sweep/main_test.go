@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSweepExampleRuns smokes the example at a reduced size and checks
+// the report surfaces all four cells.
+func TestSweepExampleRuns(t *testing.T) {
+	var b strings.Builder
+	run(&b, 2, 4)
+	out := b.String()
+	for _, cell := range []string{
+		"diversity/solvers=pso,f=Sphere",
+		"diversity/solvers=pso,f=Rastrigin",
+		"diversity/solvers=mixed,f=Sphere",
+		"diversity/solvers=mixed,f=Rastrigin",
+	} {
+		if !strings.Contains(out, cell) {
+			t.Fatalf("report missing cell %q:\n%s", cell, out)
+		}
+	}
+	if !strings.Contains(out, "4 cells x 2 reps") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+}
+
+// TestSweepExamplePoolInvariance: the example's report is identical for
+// any pool size.
+func TestSweepExamplePoolInvariance(t *testing.T) {
+	render := func(workers int) string {
+		var b strings.Builder
+		run(&b, 2, workers)
+		return b.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("example output differs across pool sizes")
+	}
+}

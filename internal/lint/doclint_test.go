@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot is this package's path back to the repository root.
+const repoRoot = "../.."
+
+// goPackageDirs returns every directory under the repo root containing
+// non-test Go files, skipping .git and testdata.
+func goPackageDirs(t *testing.T) []string {
+	t.Helper()
+	dirSet := map[string]bool{}
+	err := filepath.WalkDir(repoRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", ".github":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirSet[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := make([]string, 0, len(dirSet))
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	return dirs
+}
+
+// TestGodoc is the repository's godoc lint: every package must carry a
+// package-level doc comment, and every exported top-level identifier —
+// functions, methods with exported names (interface implementations
+// included), types, consts and vars — must have a doc comment. It runs
+// over non-test files only and needs no tooling beyond go/parser, so CI
+// enforces it with a plain `go test ./internal/lint`.
+func TestGodoc(t *testing.T) {
+	for _, dir := range goPackageDirs(t) {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			hasPkgDoc := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					hasPkgDoc = true
+					break
+				}
+			}
+			if !hasPkgDoc {
+				t.Errorf("package %s (%s) has no package-level doc comment", name, dir)
+			}
+			for _, f := range pkg.Files {
+				checkFileDocs(t, fset, f)
+			}
+		}
+	}
+}
+
+// checkFileDocs reports every exported declaration in f lacking a doc
+// comment.
+func checkFileDocs(t *testing.T, fset *token.FileSet, f *ast.File) {
+	t.Helper()
+	missing := func(kind, name string, pos token.Pos) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Name.Name == "main" {
+				continue
+			}
+			if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				missing(kind, d.Name.Name, d.Pos())
+			}
+		case *ast.GenDecl:
+			// A doc comment on the grouped decl ("// Engine kinds.")
+			// covers all its specs, matching godoc's rendering.
+			groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && !groupDoc &&
+						(sp.Doc == nil || strings.TrimSpace(sp.Doc.Text()) == "") {
+						missing("type", sp.Name.Name, sp.Pos())
+					}
+				case *ast.ValueSpec:
+					specDoc := sp.Doc != nil && strings.TrimSpace(sp.Doc.Text()) != ""
+					for _, n := range sp.Names {
+						if n.IsExported() && !groupDoc && !specDoc {
+							missing("value", n.Name, n.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+}

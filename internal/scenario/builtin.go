@@ -1,6 +1,9 @@
 package scenario
 
-import "sort"
+import (
+	"encoding/json"
+	"sort"
+)
 
 // The built-in scenarios: one runnable exemplar per scripted condition the
 // subsystem supports, sized to finish in well under a second each so they
@@ -136,6 +139,82 @@ func builtins() map[string]Spec {
 
 // fptr builds the pointer-valued probability knobs of a Spec literal.
 func fptr(v float64) *float64 { return &v }
+
+// raw builds the json.RawMessage values of a SweepSpec literal.
+func raw(s string) json.RawMessage { return json.RawMessage(s) }
+
+// The built-in sweeps: one exemplar per override mechanism (a dotted-path
+// axis and a deep-merge axis), sized so `-sweep <name> -reps 2` finishes
+// in seconds and doubles as the CI byte-compare smoke. `cmd/scenario
+// -show <name>` prints the JSON, the starting point for custom sweeps.
+func builtinSweeps() map[string]SweepSpec {
+	return map[string]SweepSpec{
+		"overlay-vs-churn": {
+			Name:        "overlay-vs-churn",
+			Description: "Does the overlay choice matter under churn? Newscast vs Cyclon, calm vs a 25% crash burst, on Sphere.",
+			Base: Spec{
+				Nodes:        32,
+				Seed:         17,
+				Stack:        Stack{Particles: 8},
+				MetricsEvery: 20,
+				Stop:         Stop{Cycles: 80},
+			},
+			Axes: []Axis{
+				{Name: "overlay", Path: "stack.topology", Values: []AxisValue{
+					{Value: raw(`"newscast"`)},
+					{Value: raw(`"cyclon"`)},
+				}},
+				{Name: "churn", Values: []AxisValue{
+					{Label: "calm", Value: raw(`{}`)},
+					{Label: "burst", Value: raw(`{"timeline":[
+						{"at":20,"action":"crash","fraction":0.25},
+						{"at":50,"action":"revive","count":8}]}`)},
+				}},
+			},
+			Reps:      4,
+			Threshold: fptr(1500),
+		},
+		"protocol-vs-loss": {
+			Name:        "protocol-vs-loss",
+			Description: "How does message loss slow convergence? Best-point gossip vs push-pull anti-entropy at 0% and 30% drop probability.",
+			Base: Spec{
+				Nodes:        48,
+				Seed:         23,
+				MetricsEvery: 2,
+				Stop:         Stop{Cycles: 60},
+			},
+			Axes: []Axis{
+				{Name: "protocol", Values: []AxisValue{
+					{Label: "opt", Value: raw(`{"stack":{"particles":8}}`)},
+					{Label: "antientropy", Value: raw(`{"stack":{"protocol":"antientropy"}}`)},
+				}},
+				{Name: "loss", Path: "stack.drop_prob", Values: []AxisValue{
+					{Value: raw(`0`)},
+					{Value: raw(`0.3`)},
+				}},
+			},
+			Reps:      3,
+			Threshold: fptr(0.1),
+		},
+	}
+}
+
+// BuiltinSweep returns the named built-in sweep.
+func BuiltinSweep(name string) (SweepSpec, bool) {
+	s, ok := builtinSweeps()[name]
+	return s, ok
+}
+
+// BuiltinSweepNames returns the sorted built-in sweep names.
+func BuiltinSweepNames() []string {
+	m := builtinSweeps()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Builtin returns the named built-in scenario.
 func Builtin(name string) (Spec, bool) {

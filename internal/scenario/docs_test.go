@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// specDocPath locates docs/SCENARIOS.md relative to this package.
+const specDocPath = "../../docs/SCENARIOS.md"
+
+// TestDocsCoverEverySpecField keeps docs/SCENARIOS.md honest: every JSON
+// tag reachable from Spec or SweepSpec must appear in the reference
+// (backticked, the way the doc's tables name fields). Adding a field to
+// the structs without documenting it fails here — the docs and the spec
+// grammar cannot drift apart silently.
+func TestDocsCoverEverySpecField(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(specDocPath))
+	if err != nil {
+		t.Fatalf("reading spec reference: %v", err)
+	}
+	doc := string(data)
+
+	tags := map[string][]string{} // tag -> types that declare it
+	var collect func(typ reflect.Type, seen map[reflect.Type]bool)
+	collect = func(typ reflect.Type, seen map[reflect.Type]bool) {
+		for typ.Kind() == reflect.Pointer || typ.Kind() == reflect.Slice || typ.Kind() == reflect.Map {
+			typ = typ.Elem()
+		}
+		if typ.Kind() != reflect.Struct || seen[typ] {
+			return
+		}
+		seen[typ] = true
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "" || tag == "-" {
+				t.Errorf("%s.%s has no json tag; spec fields must be taggable and documented", typ.Name(), f.Name)
+				continue
+			}
+			tags[tag] = append(tags[tag], typ.Name())
+			collect(f.Type, seen)
+		}
+	}
+	seen := map[reflect.Type]bool{}
+	collect(reflect.TypeOf(Spec{}), seen)
+	collect(reflect.TypeOf(SweepSpec{}), seen)
+
+	if len(tags) < 30 {
+		t.Fatalf("suspiciously few spec fields collected (%d); reflection walk broken?", len(tags))
+	}
+	for tag, types := range tags {
+		if !strings.Contains(doc, "`"+tag+"`") {
+			t.Errorf("docs/SCENARIOS.md does not document field `%s` (declared by %s)",
+				tag, strings.Join(types, ", "))
+		}
+	}
+}
+
+// TestDocsExampleSpecsParse extracts every ```json block from the
+// reference and feeds it to the strict parsers — the doc's examples must
+// actually run, not just look plausible.
+func TestDocsExampleSpecsParse(t *testing.T) {
+	data, err := os.ReadFile(specDocPath)
+	if err != nil {
+		t.Fatalf("reading spec reference: %v", err)
+	}
+	blocks := strings.Split(string(data), "```json")
+	if len(blocks) < 2 {
+		t.Fatal("no ```json examples found in docs/SCENARIOS.md")
+	}
+	for i, rest := range blocks[1:] {
+		end := strings.Index(rest, "```")
+		if end < 0 {
+			t.Fatalf("unterminated json block %d", i)
+		}
+		raw := strings.TrimSpace(rest[:end])
+		// Sweep specs are the ones with axes; everything else is a Spec.
+		var perr error
+		if strings.Contains(raw, `"axes"`) {
+			_, perr = ParseSweep([]byte(raw))
+		} else {
+			_, perr = Parse([]byte(raw))
+		}
+		if perr != nil {
+			t.Errorf("docs/SCENARIOS.md json example %d does not parse: %v\n%s", i, perr, raw)
+		}
+	}
+}

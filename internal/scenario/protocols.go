@@ -50,6 +50,7 @@ type cycleNet interface {
 // optNet adapts core.Network to cycleNet.
 type optNet struct{ *core.Network }
 
+// Counters implements cycleNet from the optimizer network's metrics.
 func (o optNet) Counters() (int64, int64, int64) {
 	m := o.Network.Metrics()
 	return m.Exchanges, m.LostExchanges, m.Adoptions
@@ -62,9 +63,16 @@ type epidemicNet struct {
 	counters func(e *sim.Engine) (int64, int64, int64)
 }
 
+// Engine implements cycleNet.
 func (p *epidemicNet) Engine() *sim.Engine { return p.eng }
-func (p *epidemicNet) TotalEvals() int64   { return 0 }
-func (p *epidemicNet) Quality() float64    { return p.quality(p.eng) }
+
+// TotalEvals implements cycleNet; epidemic protocols evaluate nothing.
+func (p *epidemicNet) TotalEvals() int64 { return 0 }
+
+// Quality implements cycleNet via the protocol's quality function.
+func (p *epidemicNet) Quality() float64 { return p.quality(p.eng) }
+
+// Counters implements cycleNet via the protocol's counter extractor.
 func (p *epidemicNet) Counters() (int64, int64, int64) {
 	return p.counters(p.eng)
 }

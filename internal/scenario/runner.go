@@ -66,7 +66,7 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	}
 	summaries := make([]RepSummary, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		sum, err := runRep(spec, base, rep, opts.Workers, sink)
+		sum, err := runRep(spec, base, 0, rep, opts.Workers, sink)
 		if err != nil {
 			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
 		}
@@ -75,9 +75,11 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	return summaries, sink.Flush()
 }
 
-// runRep executes one repetition with its derived seed.
-func runRep(spec Spec, base uint64, rep, workers int, sink exp.Sink) (RepSummary, error) {
-	seed := exp.SeedFor(base, 0, rep)
+// runRep executes one repetition with its derived seed. Single-spec
+// campaigns pass cellIdx 0; sweeps pass the cell's grid index, so a
+// sweep's cell 0 reproduces the plain campaign of the same spec exactly.
+func runRep(spec Spec, base uint64, cellIdx, rep, workers int, sink exp.Sink) (RepSummary, error) {
+	seed := exp.SeedFor(base, cellIdx, rep)
 	var sum RepSummary
 	var err error
 	if spec.Engine == EngineEvent {
@@ -93,58 +95,122 @@ func runRep(spec Spec, base uint64, rep, workers int, sink exp.Sink) (RepSummary
 // can replay them into the real sink in repetition order.
 type bufferSink struct{ recs []exp.Record }
 
+// Emit implements exp.Sink by appending to the in-memory buffer.
 func (b *bufferSink) Emit(r exp.Record) error { b.recs = append(b.recs, r); return nil }
-func (b *bufferSink) Flush() error            { return nil }
 
-// runParallel fans the repetitions out over a bounded worker pool. Each
-// repetition is seeded from (base, rep) exactly as in the sequential path
-// and writes into a private buffer; buffers are then replayed into sink in
-// repetition order, so the byte stream — including a CSV sink's
-// header-before-first-row behavior — matches the sequential runner's.
-func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) ([]RepSummary, error) {
-	workers := opts.RepWorkers
-	if workers > reps {
-		workers = reps
+// Flush implements exp.Sink; the buffer is drained by its owner.
+func (b *bufferSink) Flush() error { return nil }
+
+// repOut carries one finished repetition from a pool worker to the
+// ordered flush.
+type repOut struct {
+	cell, rep int
+	sum       RepSummary
+	recs      []exp.Record
+	err       error
+}
+
+// runRepPool executes every (cell, rep) pair — campaigns are the
+// one-cell case — on a bounded worker pool and calls handle exactly once
+// per job in canonical cell-then-repetition order. Handling streams: a
+// job is handed over as soon as every earlier job has been, so completed
+// leading cells flush (and free their buffered rows) while later cells
+// are still running. A window caps the jobs in flight beyond the handled
+// frontier, so even a pathologically slow frontier job (one huge cell
+// first in the grid) bounds buffered-but-unhandled rows to the window
+// instead of the whole sweep. This is the single implementation of the
+// buffer-and-replay pattern behind the worker-invariance guarantee:
+// output depends only on job order, never on scheduling. Each job's seed
+// derives from (base, cell, rep) via exp.SeedFor. A handle error stops
+// further handling (remaining jobs drain without effect) and is
+// returned.
+func runRepPool(specs []Spec, reps, poolSize, engineWorkers int, base uint64, handle func(repOut) error) error {
+	njobs := len(specs) * reps
+	if njobs == 0 {
+		return nil
 	}
-	type repOut struct {
-		sum  RepSummary
-		recs []exp.Record
-		err  error
+	if poolSize > njobs {
+		poolSize = njobs
 	}
-	outs := make([]repOut, reps)
-	jobs := make(chan int)
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	// The feeder acquires window before enqueueing a job; the frontier
+	// loop releases it once the job is handled. 4x the pool keeps workers
+	// fed through ordinary scheduling skew without letting results pile
+	// up unboundedly behind a slow frontier job.
+	window := make(chan struct{}, 4*poolSize)
+	type job struct{ cell, rep int }
+	jobs := make(chan job)
+	results := make(chan repOut, poolSize)
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	wg.Add(poolSize)
+	for w := 0; w < poolSize; w++ {
 		go func() {
 			defer wg.Done()
-			for rep := range jobs {
+			for j := range jobs {
 				var buf bufferSink
-				sum, err := runRep(spec, base, rep, opts.Workers, &buf)
-				outs[rep] = repOut{sum: sum, recs: buf.recs, err: err}
+				sum, err := runRep(specs[j.cell], base, j.cell, j.rep, engineWorkers, &buf)
+				results <- repOut{cell: j.cell, rep: j.rep, sum: sum, recs: buf.recs, err: err}
 			}
 		}()
 	}
-	for rep := 0; rep < reps; rep++ {
-		jobs <- rep
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Flush in repetition order, stopping at the first failed repetition —
-	// the same rows and summaries the sequential runner would have
-	// produced before hitting that error.
-	summaries := make([]RepSummary, 0, reps)
-	for rep := 0; rep < reps; rep++ {
-		if outs[rep].err != nil {
-			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, outs[rep].err)
-		}
-		for _, r := range outs[rep].recs {
-			if err := sink.Emit(r); err != nil {
-				return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
+	go func() {
+		for ci := range specs {
+			for rep := 0; rep < reps; rep++ {
+				window <- struct{}{}
+				jobs <- job{ci, rep}
 			}
 		}
-		summaries = append(summaries, outs[rep].sum)
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]repOut, poolSize)
+	next := 0
+	var handleErr error
+	for out := range results {
+		pending[out.cell*reps+out.rep] = out
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-window
+			if handleErr == nil {
+				handleErr = handle(o)
+			}
+		}
+	}
+	return handleErr
+}
+
+// runParallel fans the repetitions out over the bounded worker pool.
+// Each repetition is seeded from (base, rep) exactly as in the
+// sequential path and writes into a private buffer replayed into sink in
+// repetition order, so the byte stream — including a CSV sink's
+// header-before-first-row behavior — matches the sequential runner's.
+// On the first failed repetition the flush stops there: the rows and
+// summaries already produced are exactly the sequential runner's.
+func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) ([]RepSummary, error) {
+	summaries := make([]RepSummary, 0, reps)
+	err := runRepPool([]Spec{spec}, reps, opts.RepWorkers, opts.Workers, base, func(o repOut) error {
+		if o.err != nil {
+			return fmt.Errorf("scenario %q rep %d: %w", spec.Name, o.rep, o.err)
+		}
+		for _, r := range o.recs {
+			if err := sink.Emit(r); err != nil {
+				return fmt.Errorf("scenario %q rep %d: %w", spec.Name, o.rep, err)
+			}
+		}
+		summaries = append(summaries, o.sum)
+		return nil
+	})
+	if err != nil {
+		return summaries, err
 	}
 	return summaries, sink.Flush()
 }

@@ -26,18 +26,32 @@ type event struct {
 	msg  any
 }
 
+// eventHeap is the engine's priority queue, ordered by delivery time
+// with the insertion sequence number as the deterministic tie-breaker.
 type eventHeap []event
 
+// Len implements heap.Interface.
 func (h eventHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface: earlier delivery first, insertion
+// order breaking ties.
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
+
+// Swap implements heap.Interface.
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() any { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Peek returns the next event without removing it.
 func (h eventHeap) Peek() (event, bool) {
 	if len(h) == 0 {
 		return event{}, false
