@@ -180,10 +180,12 @@ func BenchmarkNetworkCycle(b *testing.B) {
 // BenchmarkEngineWorkers measures cycle throughput of the two-phase engine
 // at production-ish scale (n = 10k nodes) across worker counts. Results are
 // bit-identical for every worker count (see core.TestWorkerCountInvariance);
-// only wall-clock changes. On a machine with >= 8 cores, workers=8 should
-// deliver >= 2x the node-cycles/s of workers=1 — the propose phase (solver
-// evaluation dominates a cycle's cost) parallelizes embarrassingly, while
-// the apply phase stays sequential by design.
+// only wall-clock changes. Workers drives both phases: propose (solver
+// evaluation dominates a cycle's cost) parallelizes embarrassingly, and
+// apply is destination-sharded across the same persistent pool — no
+// goroutine is spawned per cycle in the steady state, so on a machine with
+// >= 8 cores, workers=8 should deliver well over 2x the node-cycles/s of
+// workers=1 with no serial phase left as the floor.
 func BenchmarkEngineWorkers(b *testing.B) {
 	const n = 10000
 	for _, w := range []int{1, 2, 4, 8} {
@@ -195,6 +197,31 @@ func BenchmarkEngineWorkers(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				net.Step()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
+		})
+	}
+}
+
+// BenchmarkApplyShards isolates the apply phase's scaling at n = 10k: a
+// Newscast-only stack, whose propose phase is a cheap view snapshot while
+// apply does the expensive symmetric view merges (two per exchange plus a
+// reply leg), run with propose workers pinned and only the apply-shard
+// count varying. Traces are bit-identical for every value (see the
+// invariance tests); node-cycles/s should rise with applyworkers — before
+// the destination-sharded apply this curve was flat by design.
+func BenchmarkApplyShards(b *testing.B) {
+	const n = 10000
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d/applyworkers=%d", n, w), func(b *testing.B) {
+			e := sim.NewEngine(1)
+			e.SetWorkers(8)
+			e.SetApplyWorkers(w)
+			e.AddNodes(n)
+			overlay.InitNewscast(e, 0, 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunCycle()
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
 		})

@@ -13,8 +13,9 @@
 // and a human-readable comparison report lands on stderr.
 //
 // The same spec + seed produces byte-identical metric output at any
-// -workers (engine parallelism), -repworkers (campaign parallelism) and
-// -sweepworkers (sweep pool) value.
+// -workers / -applyworkers (engine parallelism), -repworkers (campaign
+// parallelism) and -sweepworkers (sweep pool) value. -cpuprofile and
+// -memprofile write pprof profiles of a campaign or sweep run.
 //
 // Examples:
 //
@@ -35,6 +36,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gossipopt/internal/exp"
@@ -58,8 +61,10 @@ func main() {
 }
 
 // run executes the command: metric rows go to out (or -o), human-facing
-// progress to errOut (separated from main for testability).
-func run(args []string, out, errOut io.Writer) error {
+// progress to errOut (separated from main for testability). The return is
+// named so the deferred heap-profile writer can surface its failure as
+// the command's error instead of a stderr-only note.
+func run(args []string, out, errOut io.Writer) (err error) {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
@@ -70,12 +75,15 @@ func run(args []string, out, errOut io.Writer) error {
 		sweepName    = fs.String("sweep", "", "run a sweep: a built-in sweep name or a JSON file")
 		reps         = fs.Int("reps", 1, "repetitions in the campaign (sweeps: per cell; 0 keeps the sweep's default)")
 		seed         = fs.Uint64("seed", 0, "override the spec's base seed (0: keep)")
-		workers      = fs.Int("workers", 1, "cycle-engine propose workers (output is identical for any value)")
+		workers      = fs.Int("workers", 1, "cycle-engine pool workers for both phases (output is identical for any value)")
+		applyWorkers = fs.Int("applyworkers", 0, "override the cycle engine's apply-phase workers (0: follow -workers; output is identical for any value)")
 		repWorkers   = fs.Int("repworkers", 1, "repetitions run in parallel (output is identical for any value)")
 		sweepWorkers = fs.Int("sweepworkers", 1, "sweep pool size: cell×rep jobs run in parallel (output is identical for any value)")
 		format       = fs.String("format", "csv", "metric output format: csv or jsonl")
 		outPath      = fs.String("o", "", "write metrics to a file instead of stdout")
 		summaryPath  = fs.String("summary", "", "sweeps: write the aggregated per-cell summary table to this file (same -format)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign/sweep to this file")
+		memProfile   = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign/sweep to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -208,11 +216,42 @@ func run(args []string, out, errOut io.Writer) error {
 		sink = exp.NewJSONLSink(w)
 	}
 
+	// Profiling hooks for campaign/sweep runs (the usual way to see where
+	// a big run spends its time is `-run <name> -reps N -cpuprofile p.out`
+	// followed by `go tool pprof`). The heap-profile defer is registered
+	// first: defers run LIFO, so the CPU profile stops before the final GC
+	// and heap serialization, keeping that work out of the CPU profile.
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects retained memory
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = fmt.Errorf("writing heap profile: %w", werr)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if isSwp {
 		opts := scenario.Options{
-			BaseSeed:   *seed,
-			Workers:    *workers,
-			RepWorkers: *sweepWorkers,
+			BaseSeed:     *seed,
+			Workers:      *workers,
+			ApplyWorkers: *applyWorkers,
+			RepWorkers:   *sweepWorkers,
 		}
 		if setFlags["reps"] {
 			opts.Reps = *reps
@@ -246,10 +285,11 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	sums, err := scenario.Run(spec, scenario.Options{
-		Reps:       *reps,
-		BaseSeed:   *seed,
-		Workers:    *workers,
-		RepWorkers: *repWorkers,
+		Reps:         *reps,
+		BaseSeed:     *seed,
+		Workers:      *workers,
+		ApplyWorkers: *applyWorkers,
+		RepWorkers:   *repWorkers,
 	}, sink)
 	if err != nil {
 		return err

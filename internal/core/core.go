@@ -117,43 +117,51 @@ func (o *OptNode) Propose(n *sim.Node, px *sim.Proposals) {
 	px.Send(peerID, SlotOpt, BestPoint{X: x, F: gf})
 }
 
-// Receive implements sim.Receiver, completing the anti-entropy exchange on
-// the receiver q: if the initiator p's point is better q adopts it,
-// otherwise q replies with its own and p adopts. Both sides end with the
-// better point.
-func (o *OptNode) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	bp, ok := msg.Data.(BestPoint)
-	if !ok {
-		return
-	}
-	rx, rf := o.Solver.Best()
-	switch {
-	case bp.X == nil && rx == nil:
-		return
-	case rx == nil || (bp.X != nil && bp.F < rf):
-		// p's point wins: q adopts. bp.X was cloned at propose time and is
-		// delivered exactly once, so the solver may take ownership.
-		if o.Solver.Inject(bp.X, bp.F) {
-			o.Adoptions++
-		}
-	case bp.X == nil || rf < bp.F:
-		// q replies with its better point: p adopts.
-		peer := e.Node(msg.From)
-		if peer == nil || !peer.Alive {
+// bestPointReply is the reply leg of the §3.3.3 exchange: the contacted
+// peer's better point, mailed back for the initiator to adopt.
+type bestPointReply struct {
+	P BestPoint
+}
+
+// Receive implements sim.Receiver, node-locally, completing the
+// anti-entropy exchange: if the initiator p's point is better the
+// contacted peer q adopts it, otherwise q replies with its own and p
+// adopts it when the reply arrives. Both sides end with the better point.
+func (o *OptNode) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch bp := msg.Data.(type) {
+	case BestPoint:
+		rx, rf := o.Solver.Best()
+		switch {
+		case bp.X == nil && rx == nil:
 			return
-		}
-		if remote, ok := peer.Protocol(msg.Slot).(*OptNode); ok {
-			if remote.Solver.Inject(vec.Clone(rx), rf) {
-				remote.Adoptions++
+		case rx == nil || (bp.X != nil && bp.F < rf):
+			// p's point wins: q adopts. bp.X was cloned at propose time and
+			// is delivered exactly once, so the solver may take ownership.
+			if o.Solver.Inject(bp.X, bp.F) {
+				o.Adoptions++
 			}
+		case bp.X == nil || rf < bp.F:
+			// q's point wins: mail it back for p to adopt. Cloned because
+			// the solver keeps mutating its own best slice.
+			ax.Send(msg.From, msg.Slot, bestPointReply{P: BestPoint{X: vec.Clone(rx), F: rf}})
+		}
+	case bestPointReply:
+		// Inject adopts only if still strictly better than whatever the
+		// initiator has meanwhile, so a stale reply cannot regress it.
+		if o.Solver.Inject(bp.P.X, bp.P.F) {
+			o.Adoptions++
 		}
 	}
 }
 
-// Undelivered implements sim.Undeliverable: the sampled peer was dead, so
-// the exchange is lost (the coordination layer's message-loss path).
-func (o *OptNode) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	o.LostExchanges++
+// Undelivered implements sim.Undeliverable: the sampled peer was dead or
+// unreachable, so the exchange is lost (the coordination layer's
+// message-loss path). A lost reply leg is not a lost initiation and does
+// not count.
+func (o *OptNode) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, initiated := msg.Data.(BestPoint); initiated {
+		o.LostExchanges++
+	}
 }
 
 // TopologyKind selects the topology service implementation.
@@ -227,10 +235,12 @@ type Config struct {
 	DropProb float64
 	// Churn, when non-nil, is applied by the engine every cycle.
 	Churn sim.ChurnModel
-	// Workers is the number of goroutines stepping nodes during the
-	// engine's propose phase (<= 1: single-threaded). The trace is
-	// bit-identical for every worker count.
-	Workers int
+	// Workers is the engine's pool parallelism for both cycle phases
+	// (<= 1: single-threaded). ApplyWorkers, when positive, overrides the
+	// apply-phase parallelism independently. The trace is bit-identical
+	// for every (Workers, ApplyWorkers) combination.
+	Workers      int
+	ApplyWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -285,6 +295,9 @@ func NewNetwork(cfg Config) *Network {
 	eng := sim.NewEngine(cfg.Seed)
 
 	eng.SetWorkers(cfg.Workers)
+	if cfg.ApplyWorkers > 0 {
+		eng.SetApplyWorkers(cfg.ApplyWorkers)
+	}
 
 	mkSolver := cfg.SolverFactory
 	if mkSolver == nil {

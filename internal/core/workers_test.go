@@ -51,19 +51,20 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
-			mk := func(workers int) []float64 {
+			mk := func(workers, applyWorkers int) []float64 {
 				cfg := base
 				v.mut(&cfg)
 				cfg.Workers = workers
+				cfg.ApplyWorkers = applyWorkers
 				return qualityTrace(t, cfg, 30)
 			}
-			want := mk(1)
-			for _, w := range []int{4, 8} {
-				got := mk(w)
+			want := mk(1, 0)
+			for _, w := range [][2]int{{4, 0}, {8, 0}, {1, 8}, {8, 2}} {
+				got := mk(w[0], w[1])
 				for i := range want {
 					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
-						t.Fatalf("workers=%d cycle %d: quality %v != %v (workers=1)",
-							w, i, got[i], want[i])
+						t.Fatalf("workers=%dx%d cycle %d: quality %v != %v (workers=1)",
+							w[0], w[1], i, got[i], want[i])
 					}
 				}
 			}

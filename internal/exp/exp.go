@@ -122,6 +122,9 @@ func RunRep(c Cell, seed uint64) RepResult {
 		cfg.SolverFactory = c.Solvers()
 	}
 	net := core.NewNetwork(cfg)
+	// One engine per repetition: release its worker pool deterministically
+	// rather than leaving parked goroutines to the finalizer backstop.
+	defer net.Engine().Close()
 	if c.Threshold >= 0 {
 		cycles, evals, reached := net.RunUntil(c.Threshold, c.MaxEvals)
 		return RepResult{Quality: net.Quality(), Cycles: cycles, Evals: evals, Reached: reached}

@@ -14,12 +14,18 @@ import (
 // independently useful for estimating network size (push one 1.0 and
 // average: the mean tends to 1/n).
 //
-// Average speaks the engine's two-phase exchange contract, so it is
-// stepped on parallel propose workers. Propose only samples the partner;
-// the pairwise averaging happens atomically in Receive, which reads the
-// *initiator's value at delivery time* (not a propose-time snapshot) —
-// with stale snapshots two exchanges touching the same node in one cycle
-// would destroy the sum invariant that makes the protocol an aggregator.
+// Average speaks the engine's two-phase exchange contract and is
+// node-local in both phases. The exchange transfers *mass*, not values:
+// the initiator p mails a snapshot of its value; the contacted peer q
+// moves halfway toward it (q += d) and replies with the opposite delta,
+// which p applies to itself (p -= d). Deltas make the global sum exactly
+// conserved under any interleaving — when several exchanges touch one
+// node in a cycle the pair may not land on the exact pairwise mean, but
+// the sum invariant (what makes the protocol an aggregator) holds to the
+// last bit, and the variance still contracts exponentially. If the reply
+// leg dies (one-way partition, q's Undelivered fires with the delta), q
+// rolls its half back, so even a half-completed exchange conserves the
+// sum.
 type Average struct {
 	// Slot is the protocol slot of the node's PeerSampler.
 	Slot int
@@ -34,9 +40,18 @@ type Average struct {
 	Lost      int64
 }
 
-// exchangeReq is the (payload-free) pairwise exchange proposal: both
-// sides' current values are read from live node state during apply.
-type exchangeReq struct{}
+// avgReq is the pairwise averaging proposal, carrying the initiator's
+// value at propose time.
+type avgReq struct {
+	V float64
+}
+
+// avgDelta is the settle leg: the delta the initiator must apply to its
+// own value (the opposite of the receiver's move), keeping the pair's sum
+// exactly unchanged.
+type avgDelta struct {
+	D float64
+}
 
 var (
 	_ sim.Proposer      = (*Average)(nil)
@@ -62,40 +77,51 @@ func (a *Average) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	a.Exchanges++
-	px.Send(peerID, a.SelfSlot, exchangeReq{})
+	px.Send(peerID, a.SelfSlot, avgReq{V: a.value})
 }
 
-// Receive implements sim.Receiver: both parties replace their values with
-// the pairwise mean. Apply is sequential, so reading and writing the
-// initiator's state here is race-free and the exchange is atomic.
-func (a *Average) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	peer := e.Node(msg.From)
-	if peer == nil || !peer.Alive {
-		return
+// Receive implements sim.Receiver, node-locally. On the initiating leg the
+// contacted peer moves halfway toward the initiator's snapshot and mails
+// the opposite delta back; on the settle leg the initiator applies it. The
+// two moves cancel exactly, so the global sum is conserved bit-for-bit
+// under any interleaving.
+func (a *Average) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch req := msg.Data.(type) {
+	case avgReq:
+		d := (req.V - a.value) / 2
+		a.value += d
+		ax.Send(msg.From, msg.Slot, avgDelta{D: -d})
+	case avgDelta:
+		a.value += req.D
 	}
-	remote, ok := peer.Protocol(msg.Slot).(*Average)
-	if !ok {
-		return
-	}
-	mean := (a.value + remote.value) / 2
-	a.value = mean
-	remote.value = mean
 }
 
 // Undelivered implements sim.Undeliverable: the sampled partner was dead
-// or unreachable, so the exchange is lost.
-func (a *Average) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { a.Lost++ }
+// or unreachable, so the exchange is lost. A dead settle leg (one-way
+// partition) means this node already moved while the initiator never
+// will — roll the move back (the delta it failed to deliver is exactly
+// its own move, negated), restoring the sum invariant.
+func (a *Average) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch req := msg.Data.(type) {
+	case avgReq:
+		a.Lost++
+	case avgDelta:
+		a.value += req.D
+	}
+}
 
 // Aggregate generalizes pairwise gossip aggregation to any commutative,
-// associative, idempotent-converging combiner: both parties replace their
-// values with Combine(a, b). With Combine = min or max every node
-// converges to the global extremum in O(log n) cycles; with the
-// mean combiner this degenerates to Average (kept separate because the
-// mean combiner must update both sides with the same value, which
-// Aggregate also guarantees).
+// associative, idempotent combiner: both parties converge onto
+// Combine(a, b). With Combine = min or max every node converges to the
+// global extremum in O(log n) cycles.
 //
-// Like Average, Aggregate speaks the two-phase exchange contract and
-// resolves each pairwise step atomically in Receive.
+// Like Average, Aggregate speaks the two-phase exchange contract
+// node-locally: the contacted peer combines the initiator's snapshot into
+// its own value and replies with the combined result, which the initiator
+// re-combines into its own (possibly since-updated) value. Re-combining
+// is exact for idempotent combiners like min/max; a non-idempotent
+// combiner (e.g. the mean) is not supported here — use Average, whose
+// delta exchange conserves the sum.
 type Aggregate struct {
 	// Slot is the protocol slot of the node's PeerSampler. SelfSlot is
 	// where Aggregate instances live. Combine merges two values.
@@ -135,27 +161,43 @@ func (a *Aggregate) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	a.Exchanges++
-	px.Send(peerID, a.SelfSlot, exchangeReq{})
+	px.Send(peerID, a.SelfSlot, aggReq{V: a.value})
 }
 
-// Receive implements sim.Receiver: both parties adopt Combine of their
-// current values, atomically on the apply goroutine.
-func (a *Aggregate) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	peer := e.Node(msg.From)
-	if peer == nil || !peer.Alive {
-		return
-	}
-	remote, ok := peer.Protocol(msg.Slot).(*Aggregate)
-	if !ok {
-		return
-	}
-	combined := a.Combine(a.value, remote.value)
-	a.value = combined
-	remote.value = combined
+// aggReq is the combining proposal, carrying the initiator's value at
+// propose time; aggVal is the reply carrying the combined result.
+type aggReq struct {
+	V float64
 }
 
-// Undelivered implements sim.Undeliverable.
-func (a *Aggregate) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { a.Lost++ }
+// aggVal is the reply leg of an Aggregate exchange.
+type aggVal struct {
+	V float64
+}
+
+// Receive implements sim.Receiver, node-locally: the contacted peer
+// combines the initiator's snapshot into its value and replies with the
+// result; the initiator re-combines the reply into its own. For
+// idempotent combiners both sides end at Combine of their values, exactly
+// as in an inline exchange.
+func (a *Aggregate) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch req := msg.Data.(type) {
+	case aggReq:
+		a.value = a.Combine(a.value, req.V)
+		ax.Send(msg.From, msg.Slot, aggVal{V: a.value})
+	case aggVal:
+		a.value = a.Combine(a.value, req.V)
+	}
+}
+
+// Undelivered implements sim.Undeliverable: a lost initiation counts; a
+// lost reply leg (one-way partition) leaves a one-sided combine, which is
+// harmless for idempotent combiners.
+func (a *Aggregate) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, initiated := msg.Data.(aggReq); initiated {
+		a.Lost++
+	}
+}
 
 // MinCombine and MaxCombine are the extremum combiners.
 func MinCombine(a, b float64) float64 {

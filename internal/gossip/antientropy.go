@@ -51,11 +51,14 @@ func (m Mode) String() string {
 // bound to a (position, fitness) pair and Better comparing fitness it is
 // exactly the global-optimum diffusion algorithm of Section 3.3.3.
 //
-// AntiEntropy speaks the two-phase exchange contract. Propose only samples
-// the partner; the exchange resolves atomically in Receive, which reads
-// the *initiator's value at delivery time* (not a propose-time snapshot),
-// so two exchanges touching the same node in one cycle compound instead of
-// clobbering each other.
+// AntiEntropy speaks the two-phase exchange contract and is node-local in
+// both phases: the initiating message carries a propose-time snapshot of
+// the initiator's value (push/push-pull), and the contacted peer answers
+// through a reply message carrying its own. Snapshots may be a cycle
+// stale when several exchanges touch one node in the same cycle, but
+// Offer adopts only strictly-better values, so a stale offer is rejected
+// rather than clobbering fresher state — monotone convergence is
+// unaffected, diffusion is at worst one round slower.
 type AntiEntropy[T any] struct {
 	// Slot is the protocol slot holding the node's PeerSampler.
 	Slot int
@@ -81,9 +84,19 @@ type AntiEntropy[T any] struct {
 	Sent, Lost, Updated int64
 }
 
-// aeReq is the (payload-free) exchange proposal: both sides' values are
-// read from live node state during the apply phase.
-type aeReq struct{}
+// aeReq is the exchange proposal: the initiator's mode plus — for push and
+// push-pull — a snapshot of its value at propose time.
+type aeReq[T any] struct {
+	Mode Mode
+	V    T
+	Has  bool
+}
+
+// aeVal is the reply leg: the contacted peer's value, offered back to the
+// initiator (the pull half of pull and push-pull).
+type aeVal[T any] struct {
+	V T
+}
 
 var (
 	_ sim.Proposer      = (*AntiEntropy[int])(nil)
@@ -129,47 +142,45 @@ func (a *AntiEntropy[T]) Propose(n *sim.Node, px *sim.Proposals) {
 		a.Lost++
 		return // lost in transit; diffusion merely slows down
 	}
-	px.Send(peerID, a.SelfSlot, aeReq{})
+	req := aeReq[T]{Mode: a.Mode}
+	if a.Mode != Pull && a.has {
+		req.V, req.Has = a.local, true
+	}
+	px.Send(peerID, a.SelfSlot, req)
 }
 
-// Receive implements sim.Receiver, completing the exchange on the
-// contacted peer q (the receiver): depending on the initiator p's mode, p
-// pushes its value into q, pulls q's value, or both. Apply is sequential,
-// so reading and writing the initiator's state here is race-free and the
-// exchange is atomic.
-func (a *AntiEntropy[T]) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	if _, ok := msg.Data.(aeReq); !ok {
-		return
-	}
-	peer := e.Node(msg.From)
-	if peer == nil || !peer.Alive {
-		return // initiator crashed before apply: exchange evaporates
-	}
-	remote, ok := peer.Protocol(msg.Slot).(*AntiEntropy[T])
-	if !ok {
-		return
-	}
-	switch remote.Mode {
-	case Push:
-		if remote.has {
-			a.Offer(remote.local)
+// Receive implements sim.Receiver, node-locally. On the initiating leg the
+// contacted peer q adopts the pushed value if it is better (push,
+// push-pull) and, when the initiator wants the pull half and q holds
+// something the push did not already cover, replies with its own value; on
+// the reply leg the initiator offers the replied value to itself. Both
+// sides end with the better value, exactly as in an inline exchange.
+func (a *AntiEntropy[T]) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch req := msg.Data.(type) {
+	case aeReq[T]:
+		if req.Has {
+			a.Offer(req.V)
 		}
-	case Pull:
-		if a.has {
-			remote.Offer(a.local)
+		if req.Mode == Push {
+			return
 		}
-	case PushPull:
-		// p sends its value; q adopts it if better, otherwise q replies
-		// with its own and p adopts. Equivalent to both offering.
-		if remote.has {
-			a.Offer(remote.local)
+		// Pull / push-pull: reply only when the initiator can learn
+		// something — q holds a value and the push leg did not already
+		// carry one at least as good.
+		if a.has && (!req.Has || a.Better(a.local, req.V)) {
+			ax.Send(msg.From, a.SelfSlot, aeVal[T]{V: a.local})
 		}
-		if a.has {
-			remote.Offer(a.local)
-		}
+	case aeVal[T]:
+		a.Offer(req.V)
 	}
 }
 
 // Undelivered implements sim.Undeliverable: the sampled partner was dead
-// or unreachable (partition), so the exchange is lost.
-func (a *AntiEntropy[T]) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { a.Lost++ }
+// or unreachable (partition), so the exchange is lost. A dead reply leg
+// (one-way partition) loses only the pull half and is not a lost
+// initiation, so it does not count.
+func (a *AntiEntropy[T]) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, initiated := msg.Data.(aeReq[T]); initiated {
+		a.Lost++
+	}
+}

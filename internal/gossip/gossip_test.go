@@ -313,9 +313,10 @@ func TestAntiEntropySentLostAccounting(t *testing.T) {
 // parallel propose phase, so its full trace must be bit-identical for 1, 2
 // and 8 workers.
 func TestRumorWorkerInvariant(t *testing.T) {
-	state := func(workers int) []string {
+	state := func(workers, applyWorkers int) []string {
 		e := sim.NewEngine(25)
 		e.SetWorkers(workers)
+		e.SetApplyWorkers(applyWorkers)
 		nodes := e.AddNodes(80)
 		overlay.InitNewscast(e, 0, 20)
 		for _, nd := range nodes {
@@ -330,12 +331,12 @@ func TestRumorWorkerInvariant(t *testing.T) {
 		})
 		return out
 	}
-	one := state(1)
-	for _, w := range []int{2, 8} {
-		got := state(w)
+	one := state(1, 1)
+	for _, w := range [][2]int{{2, 1}, {1, 8}, {8, 2}, {8, 8}} {
+		got := state(w[0], w[1])
 		for i := range one {
 			if one[i] != got[i] {
-				t.Fatalf("trace diverged at workers=%d: %s vs %s", w, one[i], got[i])
+				t.Fatalf("trace diverged at workers=%dx%d: %s vs %s", w[0], w[1], one[i], got[i])
 			}
 		}
 	}
@@ -343,9 +344,10 @@ func TestRumorWorkerInvariant(t *testing.T) {
 
 // TestAntiEntropyWorkerInvariant: same guarantee for the anti-entropy port.
 func TestAntiEntropyWorkerInvariant(t *testing.T) {
-	state := func(workers int) []int {
+	state := func(workers, applyWorkers int) []int {
 		e := sim.NewEngine(26)
 		e.SetWorkers(workers)
+		e.SetApplyWorkers(applyWorkers)
 		nodes := e.AddNodes(80)
 		overlay.InitNewscast(e, 0, 20)
 		for _, nd := range nodes {
@@ -362,12 +364,12 @@ func TestAntiEntropyWorkerInvariant(t *testing.T) {
 		})
 		return out
 	}
-	one := state(1)
-	for _, w := range []int{2, 8} {
-		got := state(w)
+	one := state(1, 1)
+	for _, w := range [][2]int{{2, 1}, {1, 8}, {8, 2}, {8, 8}} {
+		got := state(w[0], w[1])
 		for i := range one {
 			if one[i] != got[i] {
-				t.Fatalf("node %d diverged at workers=%d: %d vs %d", i, w, one[i], got[i])
+				t.Fatalf("node %d diverged at workers=%dx%d: %d vs %d", i, w[0], w[1], one[i], got[i])
 			}
 		}
 	}
@@ -416,30 +418,39 @@ func TestAverageSizeEstimation(t *testing.T) {
 	}
 }
 
-func TestAverageSpreadDecreasesMonotonically(t *testing.T) {
+// TestAverageSpreadContracts: the delta exchange conserves the sum
+// exactly, but when several exchanges touch one node in a cycle the pair
+// may briefly land off the exact mean, so the spread is not monotone
+// cycle-to-cycle anymore. It must still contract geometrically over any
+// short window and converge to ~0.
+func TestAverageSpreadContracts(t *testing.T) {
 	e := buildNet(11, 100, func(id sim.NodeID) sim.Protocol {
 		a := &Average{Slot: 0, SelfSlot: 1}
 		a.SetValue(float64(id * id))
 		return a
 	})
 	prev := Spread(e, 1)
-	for c := 0; c < 30; c++ {
-		e.RunCycle()
+	for c := 0; c < 60; c += 5 {
+		e.Run(5)
 		cur := Spread(e, 1)
-		if cur > prev+1e-9 {
-			t.Fatalf("spread grew at cycle %d: %v -> %v", c, prev, cur)
+		if cur > prev/2 {
+			t.Fatalf("spread did not halve over cycles %d-%d: %v -> %v", c, c+5, prev, cur)
 		}
 		prev = cur
 	}
+	if prev > 1e-3 {
+		t.Fatalf("spread %v after 60 cycles, want ~0", prev)
+	}
 }
 
-// TestAverageWorkerInvariant: the ported protocol participates in the
-// parallel propose phase, so its trace must be bit-identical for every
-// worker count.
+// TestAverageWorkerInvariant: the ported protocol runs on both parallel
+// phases, so its trace must be bit-identical for every propose × apply
+// worker combination.
 func TestAverageWorkerInvariant(t *testing.T) {
-	values := func(workers int) []float64 {
+	values := func(workers, applyWorkers int) []float64 {
 		e := sim.NewEngine(16)
 		e.SetWorkers(workers)
+		e.SetApplyWorkers(applyWorkers)
 		nodes := e.AddNodes(64)
 		overlay.InitNewscast(e, 0, 20)
 		for _, nd := range nodes {
@@ -454,10 +465,13 @@ func TestAverageWorkerInvariant(t *testing.T) {
 		})
 		return out
 	}
-	one, eight := values(1), values(8)
-	for i := range one {
-		if one[i] != eight[i] {
-			t.Fatalf("node %d diverged across worker counts: %v vs %v", i, one[i], eight[i])
+	one := values(1, 1)
+	for _, w := range [][2]int{{8, 1}, {1, 8}, {8, 8}} {
+		got := values(w[0], w[1])
+		for i := range one {
+			if one[i] != got[i] {
+				t.Fatalf("node %d diverged at workers=%dx%d: %v vs %v", i, w[0], w[1], one[i], got[i])
+			}
 		}
 	}
 }

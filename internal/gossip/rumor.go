@@ -43,6 +43,10 @@ type Rumor struct {
 // rumorMsg is the (payload-free) rumor push.
 type rumorMsg struct{}
 
+// rumorSeen is the feedback leg: the contacted peer already knew the
+// rumor, so the spreader may lose interest.
+type rumorSeen struct{}
+
 var (
 	_ sim.Proposer      = (*Rumor)(nil)
 	_ sim.Receiver      = (*Rumor)(nil)
@@ -75,7 +79,7 @@ func (r *Rumor) receive() bool {
 // Propose implements sim.Proposer: while hot, propose the cycle's Fanout
 // rumor pushes. Whether a contact hits an informed peer — and therefore
 // whether this node loses interest — is only known at apply time, so the
-// stop decision happens in Receive, on the contacted peer's side.
+// stop decision happens when the peer's already-seen feedback arrives.
 func (r *Rumor) Propose(n *sim.Node, px *sim.Proposals) {
 	if !r.hot {
 		return
@@ -94,35 +98,36 @@ func (r *Rumor) Propose(n *sim.Node, px *sim.Proposals) {
 	}
 }
 
-// Receive implements sim.Receiver: an incoming rumor either infects this
-// node or, if it already knew it, feeds back to the spreader, which loses
-// interest with probability StopProb. The draw comes from the *sender's*
-// RNG stream on the sequential apply goroutine, so the trace stays
-// worker-invariant.
-func (r *Rumor) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	if _, ok := msg.Data.(rumorMsg); !ok {
-		return
-	}
-	if r.receive() {
-		return
-	}
-	// Contacted an informed peer: the spreader loses interest with prob p.
-	peer := e.Node(msg.From)
-	if peer == nil || !peer.Alive {
-		return
-	}
-	remote, ok := peer.Protocol(msg.Slot).(*Rumor)
-	if !ok {
-		return
-	}
-	if remote.hot && peer.RNG.Bool(remote.StopProb) {
-		remote.hot = false
+// Receive implements sim.Receiver, node-locally: an incoming rumor either
+// infects this node or, if it already knew it, mails an already-seen
+// feedback back to the spreader; a spreader receiving that feedback loses
+// interest with probability StopProb. The stop draw comes from the
+// spreader's own RNG stream on the worker that owns it, so the trace is
+// invariant for any apply-worker count.
+func (r *Rumor) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch msg.Data.(type) {
+	case rumorMsg:
+		if r.receive() {
+			return
+		}
+		// Contacted an informed peer: feed back to the spreader (the reply
+		// a real push would get).
+		ax.Send(msg.From, r.SelfSlot, rumorSeen{})
+	case rumorSeen:
+		if r.hot && n.RNG.Bool(r.StopProb) {
+			r.hot = false
+		}
 	}
 }
 
 // Undelivered implements sim.Undeliverable: the contact was dead or
-// unreachable (partition), so the rumor push is lost.
-func (r *Rumor) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) { r.Lost++ }
+// unreachable (partition), so the rumor push is lost. A lost feedback leg
+// (one-way partition) is not a lost push and does not count.
+func (r *Rumor) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, push := msg.Data.(rumorMsg); push {
+		r.Lost++
+	}
+}
 
 // CountInformed returns how many live nodes know the rumor.
 func CountInformed(e *sim.Engine, selfSlot int) int {

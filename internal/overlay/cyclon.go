@@ -110,6 +110,14 @@ type shuffleReq struct {
 	Sent []Descriptor
 }
 
+// shuffleRep is the answer leg: the partner's reply subset plus an echo of
+// what the initiator sent, so the initiator can do its own swap
+// bookkeeping node-locally (discard what it sent, merge what it got).
+type shuffleRep struct {
+	Reply []Descriptor
+	Echo  []Descriptor
+}
+
 // Propose implements sim.Proposer: select the oldest neighbor and propose
 // a shuffle, sending L-1 random descriptors plus a fresh self-descriptor.
 // The initiator's view is not yet modified — swap bookkeeping happens when
@@ -125,39 +133,41 @@ func (cy *Cyclon) Propose(n *sim.Node, px *sim.Proposals) {
 	px.Send(target.ID, cy.Slot, shuffleReq{Sent: sent})
 }
 
-// Receive implements sim.Receiver: answer the shuffle with L of the
-// receiver's own descriptors (never including the initiator), then settle
-// both sides — each discards what it sent and merges what it received, the
-// initiator additionally replacing the target's entry with the reply.
-func (cy *Cyclon) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	req, ok := msg.Data.(shuffleReq)
-	if !ok {
-		return
-	}
-	reply := subset(n.RNG, cy.view.Descriptors(), cy.L, msg.From)
-
-	for _, d := range reply {
-		cy.view.Remove(d.ID)
-	}
-	cy.view.Merge(cy.self, req.Sent)
-
-	if peer := e.Node(msg.From); peer != nil && peer.Alive {
-		if remote, ok := peer.Protocol(msg.Slot).(*Cyclon); ok {
-			remote.view.Remove(cy.self)
-			for _, d := range req.Sent {
-				if d.ID != remote.self {
-					remote.view.Remove(d.ID)
-				}
-			}
-			remote.view.Merge(remote.self, reply)
+// Receive implements sim.Receiver, node-locally. On the request leg the
+// contacted peer answers with L of its own descriptors (never including
+// the initiator), settles its side of the swap — discard what it sent,
+// merge what it received — and mails the reply (plus an echo of the
+// request) back. On the reply leg the initiator settles its side: replace
+// the target's entry and the echoed descriptors it sent away with the
+// reply subset.
+func (cy *Cyclon) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch req := msg.Data.(type) {
+	case shuffleReq:
+		reply := subset(n.RNG, cy.view.Descriptors(), cy.L, msg.From)
+		for _, d := range reply {
+			cy.view.Remove(d.ID)
 		}
+		cy.view.Merge(cy.self, req.Sent)
+		ax.Send(msg.From, cy.Slot, shuffleRep{Reply: reply, Echo: req.Sent})
+	case shuffleRep:
+		cy.view.Remove(msg.From)
+		for _, d := range req.Echo {
+			if d.ID != cy.self {
+				cy.view.Remove(d.ID)
+			}
+		}
+		cy.view.Merge(cy.self, req.Reply)
 	}
 }
 
 // Undelivered implements sim.Undeliverable: the oldest neighbor was dead —
-// exactly the case Cyclon's oldest-first policy is designed to flush.
-func (cy *Cyclon) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	cy.FailedExchanges++
+// exactly the case Cyclon's oldest-first policy is designed to flush. A
+// dead reply leg (one-way partition) also flushes the unreachable peer,
+// but only a failed initiation counts as a FailedExchange.
+func (cy *Cyclon) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, initiated := msg.Data.(shuffleReq); initiated {
+		cy.FailedExchanges++
+	}
 	cy.view.Remove(msg.To)
 }
 

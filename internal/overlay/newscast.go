@@ -89,6 +89,13 @@ type viewSwap struct {
 	Stamp int64
 }
 
+// viewSwapReply is the pull half of the exchange: the partner's pre-merge
+// view (plus both fresh self-descriptors), mailed back to the initiator in
+// the next apply round.
+type viewSwapReply struct {
+	Descs []Descriptor
+}
+
 // Propose implements sim.Proposer: pick a partner from the node's own view
 // and propose a symmetric view exchange. Only the node's own state is
 // touched — the swap itself happens in Receive during the apply phase.
@@ -101,32 +108,32 @@ func (nc *Newscast) Propose(n *sim.Node, px *sim.Proposals) {
 	px.Send(peerID, nc.Slot, viewSwap{Descs: nc.view.Descriptors(), Stamp: px.Cycle()})
 }
 
-// Receive implements sim.Receiver: complete the push-pull exchange. The
-// receiver merges the initiator's snapshot plus both fresh
-// self-descriptors, and replies by merging its own (pre-merge) view back
-// into the initiator — the same symmetric outcome as an inline exchange.
-func (nc *Newscast) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	sw, ok := msg.Data.(viewSwap)
-	if !ok {
-		return
-	}
-	mine := nc.view.Descriptors()
-	myDesc := Descriptor{ID: nc.self, Stamp: sw.Stamp}
-	peerDesc := Descriptor{ID: msg.From, Stamp: sw.Stamp}
-
-	nc.view.Merge(nc.self, append(append(sw.Descs, peerDesc), myDesc))
-	if peer := e.Node(msg.From); peer != nil && peer.Alive {
-		if remote, ok := peer.Protocol(msg.Slot).(*Newscast); ok {
-			remote.view.Merge(remote.self, append(append(mine, myDesc), peerDesc))
-		}
+// Receive implements sim.Receiver, node-locally. On the initiating leg the
+// receiver merges the initiator's snapshot plus both fresh self-descriptors
+// and mails its own pre-merge view back; on the reply leg the initiator
+// merges that snapshot — the same symmetric outcome as an inline exchange,
+// with each leg crossing the network (and the delivery filter) on its own.
+func (nc *Newscast) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch sw := msg.Data.(type) {
+	case viewSwap:
+		mine := nc.view.Descriptors()
+		myDesc := Descriptor{ID: nc.self, Stamp: sw.Stamp}
+		peerDesc := Descriptor{ID: msg.From, Stamp: sw.Stamp}
+		nc.view.Merge(nc.self, append(append(sw.Descs, peerDesc), myDesc))
+		ax.Send(msg.From, nc.Slot, viewSwapReply{Descs: append(append(mine, myDesc), peerDesc)})
+	case viewSwapReply:
+		nc.view.Merge(nc.self, sw.Descs)
 	}
 }
 
-// Undelivered implements sim.Undeliverable: the partner crashed, so the
-// exchange is simply lost. Drop the dead descriptor locally so repeated
-// failures do not pin the view.
-func (nc *Newscast) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	nc.FailedExchanges++
+// Undelivered implements sim.Undeliverable: the partner is dead or
+// unreachable, so the exchange (or its reply leg) is simply lost. Drop the
+// unreachable descriptor locally so repeated failures do not pin the view;
+// only a failed initiation counts as a FailedExchange.
+func (nc *Newscast) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, initiated := msg.Data.(viewSwap); initiated {
+		nc.FailedExchanges++
+	}
 	nc.view.Remove(msg.To)
 }
 

@@ -20,8 +20,8 @@ import (
 //
 // TMan speaks the engine's two-phase exchange contract: Propose samples
 // the random injection and mails the node's view to its closest neighbor;
-// the symmetric merge happens atomically in Receive. A failed contact
-// reports back through Undelivered, which distinguishes a *confirmed
+// the symmetric merge completes through a reply message in Receive. A
+// failed contact reports back through Undelivered, which distinguishes a *confirmed
 // crash* (destination dead: tombstone it so third-party merges cannot
 // resurrect it) from an *unreachable* peer (network partition: drop it
 // from the view without a tombstone, so it is re-adopted once the
@@ -57,6 +57,12 @@ type TMan struct {
 // tmanSwap is the proposed exchange: the initiator's view snapshot plus
 // its own descriptor, delivered to the closest known neighbor.
 type tmanSwap struct {
+	Peers []sim.NodeID
+}
+
+// tmanReply is the pull half: the contacted peer's pre-merge view plus its
+// own descriptor, mailed back to the initiator in the next apply round.
+type tmanReply struct {
 	Peers []sim.NodeID
 }
 
@@ -168,40 +174,42 @@ func (t *TMan) Propose(n *sim.Node, px *sim.Proposals) {
 	px.Send(target, t.Slot, tmanSwap{Peers: append(t.Neighbors(), t.self)})
 }
 
-// Receive implements sim.Receiver: complete the symmetric exchange. The
-// receiver merges the initiator's snapshot; the reply merges the
-// receiver's pre-merge view (plus its own descriptor) back into the
-// initiator — the same outcome as the historical inline exchange, applied
-// atomically on the coordinator goroutine.
-func (t *TMan) Receive(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	sw, ok := msg.Data.(tmanSwap)
-	if !ok {
-		return
-	}
-	// A message from a tombstoned peer is proof of life: the crash was
-	// confirmed once, but the node has since restarted (scripted revive).
-	// Direct contact — and only direct contact, never a third-party merge
-	// — clears the tombstone.
-	delete(t.dead, msg.From)
-	mine := append(t.Neighbors(), t.self)
-	t.merge(sw.Peers)
-	if peer := e.Node(msg.From); peer != nil && peer.Alive {
-		if remote, ok := peer.Protocol(msg.Slot).(*TMan); ok {
-			remote.merge(mine)
-		}
+// Receive implements sim.Receiver, node-locally. On the initiating leg the
+// contacted peer merges the initiator's snapshot and mails its own
+// pre-merge view (plus its descriptor) back; on the reply leg the
+// initiator merges that snapshot — the same symmetric outcome as the
+// historical inline exchange, with each leg crossing the delivery filter
+// on its own.
+func (t *TMan) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	switch sw := msg.Data.(type) {
+	case tmanSwap:
+		// A message from a tombstoned peer is proof of life: the crash was
+		// confirmed once, but the node has since restarted (scripted
+		// revive). Direct contact — and only direct contact, never a
+		// third-party merge — clears the tombstone.
+		delete(t.dead, msg.From)
+		mine := append(t.Neighbors(), t.self)
+		t.merge(sw.Peers)
+		ax.Send(msg.From, t.Slot, tmanReply{Peers: mine})
+	case tmanReply:
+		delete(t.dead, msg.From)
+		t.merge(sw.Peers)
 	}
 }
 
-// Undelivered implements sim.Undeliverable: the exchange died in transit.
-// A dead destination is a confirmed crash — drop it and tombstone it, or
-// third-party merges would keep pinning it back into the view. A live but
-// unreachable destination (delivery filter, i.e. a partition) is only
-// dropped: no tombstone, so the peer is re-adopted through merges or
-// random injection once the partition heals.
-func (t *TMan) Undelivered(n *sim.Node, e *sim.Engine, msg sim.Message) {
-	t.Lost++
+// Undelivered implements sim.Undeliverable: the exchange (or its reply
+// leg) died in transit. A dead destination is a confirmed crash — drop it
+// and tombstone it, or third-party merges would keep pinning it back into
+// the view. A live but unreachable destination (delivery filter, i.e. a
+// partition) is only dropped: no tombstone, so the peer is re-adopted
+// through merges or random injection once the partition heals. Only a
+// failed initiation counts toward Lost.
+func (t *TMan) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
+	if _, initiated := msg.Data.(tmanSwap); initiated {
+		t.Lost++
+	}
 	t.remove(msg.To)
-	if dst := e.Node(msg.To); dst == nil || !dst.Alive {
+	if !ax.Alive(msg.To) {
 		if t.dead == nil {
 			t.dead = make(map[sim.NodeID]bool)
 		}

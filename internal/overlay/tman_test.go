@@ -254,7 +254,16 @@ func TestTManReviveClearsTombstone(t *testing.T) {
 		t.Fatal("precondition: node 4 did not tombstone crashed node 3")
 	}
 	e.Revive(3)
-	e.Run(20) // 3's own view survived the outage, so it re-initiates
+	// Model the restart the way a real deployment would: the rebooted host
+	// comes back with a fresh T-Man state knowing only its bootstrap
+	// contact — node 4 — so its first exchange is a direct message to 4
+	// (whether the surviving pre-crash view would re-contact 4 first is
+	// trace luck; the bootstrap makes the direct-contact path
+	// deterministic).
+	restarted := NewTMan(3, 4, 1, 0, RingDistance(n))
+	restarted.Bootstrap([]sim.NodeID{4})
+	e.Node(3).Protocols[1] = restarted
+	e.Run(20)
 	tm := e.Node(4).Protocol(1).(*TMan)
 	if tm.Tombstoned(3) {
 		t.Fatal("tombstone survived direct contact from the revived peer")
@@ -270,12 +279,14 @@ func TestTManReviveClearsTombstone(t *testing.T) {
 	}
 }
 
-// TestTManWorkerInvariant: the ported protocol runs in the parallel
-// propose phase; its views must be bit-identical for 1, 2 and 8 workers.
+// TestTManWorkerInvariant: the ported protocol runs on both parallel
+// phases; its views must be bit-identical for every propose × apply
+// worker combination.
 func TestTManWorkerInvariant(t *testing.T) {
-	views := func(workers int) [][]sim.NodeID {
+	views := func(workers, applyWorkers int) [][]sim.NodeID {
 		e := sim.NewEngine(10)
 		e.SetWorkers(workers)
+		e.SetApplyWorkers(applyWorkers)
 		e.AddNodes(64)
 		InitNewscast(e, 0, 20)
 		InitTMan(e, 1, 0, 4, RingDistance(64))
@@ -286,16 +297,16 @@ func TestTManWorkerInvariant(t *testing.T) {
 		})
 		return out
 	}
-	one := views(1)
-	for _, w := range []int{2, 8} {
-		got := views(w)
+	one := views(1, 1)
+	for _, w := range [][2]int{{2, 1}, {1, 8}, {8, 2}, {8, 8}} {
+		got := views(w[0], w[1])
 		for i := range one {
 			if len(one[i]) != len(got[i]) {
-				t.Fatalf("node %d view size diverged at workers=%d", i, w)
+				t.Fatalf("node %d view size diverged at workers=%dx%d", i, w[0], w[1])
 			}
 			for j := range one[i] {
 				if one[i][j] != got[i][j] {
-					t.Fatalf("node %d view diverged at workers=%d: %v vs %v", i, w, one[i], got[i])
+					t.Fatalf("node %d view diverged at workers=%dx%d: %v vs %v", i, w[0], w[1], one[i], got[i])
 				}
 			}
 		}

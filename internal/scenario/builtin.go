@@ -112,6 +112,24 @@ func builtins() map[string]Spec {
 			MetricsEvery: 10,
 			Stop:         Stop{Cycles: 80},
 		},
+		"antientropy-oneway": {
+			Name: "antientropy-oneway",
+			Description: "Push-pull anti-entropy under a one-way cut: even nodes can push into the odd island " +
+				"but nothing returns, so the odd-held maximum is stuck until the heal.",
+			Nodes: 64,
+			Seed:  10,
+			// Static substrate for the same reason as rumor-netsplit: a
+			// gossiped overlay would segregate during the cut. Initial
+			// values are the node IDs, so the global best (63) starts on
+			// the odd island — exactly the side the cut silences.
+			Stack: Stack{Topology: "random", ViewSize: 8, Protocol: ProtocolAntiEntropy},
+			Timeline: []Event{
+				{At: 0, Action: "partition", Groups: 2, OneWay: true},
+				{At: 30, Action: "heal"},
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 80},
+		},
 		"antientropy-lossy": {
 			Name:         "antientropy-lossy",
 			Description:  "Push-pull anti-entropy with 30% message loss: diffusion slows down but still converges (paper §3.3.4).",

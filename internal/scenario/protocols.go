@@ -79,7 +79,7 @@ func (p *epidemicNet) Counters() (int64, int64, int64) {
 
 // protocolBuilders maps a non-default stack.protocol to its network
 // builder. Spec names are pre-validated, so builders cannot fail.
-var protocolBuilders = map[string]func(s Spec, seed uint64, workers int) cycleNet{
+var protocolBuilders = map[string]func(s Spec, seed uint64, opts Options) cycleNet{
 	ProtocolRumor:       buildRumorNet,
 	ProtocolAntiEntropy: buildAntiEntropyNet,
 	ProtocolTMan:        buildTManNet,
@@ -102,10 +102,13 @@ func ProtocolNames() []string {
 // node factory: a Newscast view bootstrapped from a random live node —
 // the "bootstrap service" of a real deployment — plus a fresh payload
 // instance, mirroring core.NewNetwork.
-func newSubstrate(s Spec, seed uint64, workers int, mk func(n *sim.Node) sim.Protocol) *sim.Engine {
+func newSubstrate(s Spec, seed uint64, opts Options, mk func(n *sim.Node) sim.Protocol) *sim.Engine {
 	topo, _ := core.TopologyByName(s.Stack.Topology)
 	eng := sim.NewEngine(seed)
-	eng.SetWorkers(workers)
+	eng.SetWorkers(opts.Workers)
+	if opts.ApplyWorkers > 0 {
+		eng.SetApplyWorkers(opts.ApplyWorkers)
+	}
 	nodes := eng.AddNodes(s.Nodes)
 	core.InitTopology(eng, core.SlotTopology, topo, s.Stack.ViewSize)
 	for _, n := range nodes {
@@ -133,8 +136,8 @@ func newSubstrate(s Spec, seed uint64, workers int, mk func(n *sim.Node) sim.Pro
 	return eng
 }
 
-func buildRumorNet(s Spec, seed uint64, workers int) cycleNet {
-	eng := newSubstrate(s, seed, workers, func(n *sim.Node) sim.Protocol {
+func buildRumorNet(s Spec, seed uint64, opts Options) cycleNet {
+	eng := newSubstrate(s, seed, opts, func(n *sim.Node) sim.Protocol {
 		return &gossip.Rumor{
 			Slot:     core.SlotTopology,
 			SelfSlot: protoSlot,
@@ -167,8 +170,8 @@ func buildRumorNet(s Spec, seed uint64, workers int) cycleNet {
 	}
 }
 
-func buildAntiEntropyNet(s Spec, seed uint64, workers int) cycleNet {
-	eng := newSubstrate(s, seed, workers, func(n *sim.Node) sim.Protocol {
+func buildAntiEntropyNet(s Spec, seed uint64, opts Options) cycleNet {
+	eng := newSubstrate(s, seed, opts, func(n *sim.Node) sim.Protocol {
 		return &gossip.AntiEntropy[float64]{
 			Slot:     core.SlotTopology,
 			SelfSlot: protoSlot,
@@ -222,12 +225,12 @@ func buildAntiEntropyNet(s Spec, seed uint64, workers int) cycleNet {
 	}
 }
 
-func buildTManNet(s Spec, seed uint64, workers int) cycleNet {
+func buildTManNet(s Spec, seed uint64, opts Options) cycleNet {
 	dist := overlay.RingDistance(s.Nodes)
 	// nil payload builder: InitTMan wires (and bootstraps) the initial
 	// nodes itself, and spec validation rejects join events for tman, so
 	// the factory's payload path can never run.
-	eng := newSubstrate(s, seed, workers, nil)
+	eng := newSubstrate(s, seed, opts, nil)
 	overlay.InitTMan(eng, protoSlot, core.SlotTopology, s.Stack.TManC, dist)
 	return &epidemicNet{
 		eng: eng,

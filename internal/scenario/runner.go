@@ -18,10 +18,12 @@ type Options struct {
 	Reps int
 	// BaseSeed overrides the spec's seed when non-zero.
 	BaseSeed uint64
-	// Workers is the cycle engine's propose-phase parallelism; output is
-	// bit-identical for every value (the event engine is single-threaded
-	// and ignores it).
-	Workers int
+	// Workers is the cycle engine's pool parallelism for both phases;
+	// ApplyWorkers, when positive, overrides the apply-phase parallelism
+	// independently. Output is bit-identical for every combination (the
+	// event engine is single-threaded and ignores both).
+	Workers      int
+	ApplyWorkers int
 	// RepWorkers runs repetitions on a bounded worker pool (<= 1:
 	// sequential). Each repetition's rows are buffered and flushed into
 	// the sink in repetition order, so the emitted bytes are identical to
@@ -66,7 +68,7 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	}
 	summaries := make([]RepSummary, 0, reps)
 	for rep := 0; rep < reps; rep++ {
-		sum, err := runRep(spec, base, 0, rep, opts.Workers, sink)
+		sum, err := runRep(spec, base, 0, rep, opts, sink)
 		if err != nil {
 			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
 		}
@@ -78,14 +80,15 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 // runRep executes one repetition with its derived seed. Single-spec
 // campaigns pass cellIdx 0; sweeps pass the cell's grid index, so a
 // sweep's cell 0 reproduces the plain campaign of the same spec exactly.
-func runRep(spec Spec, base uint64, cellIdx, rep, workers int, sink exp.Sink) (RepSummary, error) {
+// Only the engine-parallelism knobs of opts are consulted here.
+func runRep(spec Spec, base uint64, cellIdx, rep int, opts Options, sink exp.Sink) (RepSummary, error) {
 	seed := exp.SeedFor(base, cellIdx, rep)
 	var sum RepSummary
 	var err error
 	if spec.Engine == EngineEvent {
 		sum, err = runEventRep(spec, seed, rep, sink)
 	} else {
-		sum, err = runCycleRep(spec, seed, rep, workers, sink)
+		sum, err = runCycleRep(spec, seed, rep, opts, sink)
 	}
 	sum.Rep, sum.Seed = rep, seed
 	return sum, err
@@ -124,11 +127,12 @@ type repOut struct {
 // derives from (base, cell, rep) via exp.SeedFor. A handle error stops
 // further handling (remaining jobs drain without effect) and is
 // returned.
-func runRepPool(specs []Spec, reps, poolSize, engineWorkers int, base uint64, handle func(repOut) error) error {
+func runRepPool(specs []Spec, reps int, opts Options, base uint64, handle func(repOut) error) error {
 	njobs := len(specs) * reps
 	if njobs == 0 {
 		return nil
 	}
+	poolSize := opts.RepWorkers
 	if poolSize > njobs {
 		poolSize = njobs
 	}
@@ -150,7 +154,7 @@ func runRepPool(specs []Spec, reps, poolSize, engineWorkers int, base uint64, ha
 			defer wg.Done()
 			for j := range jobs {
 				var buf bufferSink
-				sum, err := runRep(specs[j.cell], base, j.cell, j.rep, engineWorkers, &buf)
+				sum, err := runRep(specs[j.cell], base, j.cell, j.rep, opts, &buf)
 				results <- repOut{cell: j.cell, rep: j.rep, sum: sum, recs: buf.recs, err: err}
 			}
 		}()
@@ -197,7 +201,7 @@ func runRepPool(specs []Spec, reps, poolSize, engineWorkers int, base uint64, ha
 // summaries already produced are exactly the sequential runner's.
 func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	summaries := make([]RepSummary, 0, reps)
-	err := runRepPool([]Spec{spec}, reps, opts.RepWorkers, opts.Workers, base, func(o repOut) error {
+	err := runRepPool([]Spec{spec}, reps, opts, base, func(o repOut) error {
 		if o.err != nil {
 			return fmt.Errorf("scenario %q rep %d: %w", spec.Name, o.rep, o.err)
 		}
@@ -219,10 +223,10 @@ func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) 
 // network, or one of the epidemic-protocol networks when stack.protocol
 // says so — and runs one repetition. Spec names are pre-validated, so
 // registry lookups cannot fail here.
-func runCycleRep(s Spec, seed uint64, rep, workers int, sink exp.Sink) (RepSummary, error) {
+func runCycleRep(s Spec, seed uint64, rep int, opts Options, sink exp.Sink) (RepSummary, error) {
 	var net cycleNet
 	if mkNet, ok := protocolBuilders[s.Stack.Protocol]; ok {
-		net = mkNet(s, seed, workers)
+		net = mkNet(s, seed, opts)
 	} else {
 		fn, _ := funcs.ByName(s.Stack.Function)
 		topo, _ := core.TopologyByName(s.Stack.Topology)
@@ -238,10 +242,14 @@ func runCycleRep(s Spec, seed uint64, rep, workers int, sink exp.Sink) (RepSumma
 			Topology:      topo,
 			SolverFactory: factory,
 			DropProb:      s.Stack.DropProb,
-			Workers:       workers,
+			Workers:       opts.Workers,
+			ApplyWorkers:  opts.ApplyWorkers,
 		})}
 	}
 	eng := net.Engine()
+	// Campaigns build one engine per repetition; release its worker pool
+	// deterministically instead of waiting for the finalizer backstop.
+	defer eng.Close()
 
 	emit := func(cycle int64) error {
 		exchanges, lost, adoptions := net.Counters()
@@ -361,10 +369,19 @@ func applyCycleEvent(eng *sim.Engine, ev Event) {
 			}
 		}
 	case "partition":
-		eng.SetDeliveryFilter(sim.SplitGroups(ev.Groups))
+		eng.SetDeliveryFilter(partitionFilter(ev))
 	case "heal":
 		eng.SetDeliveryFilter(nil)
 	}
+}
+
+// partitionFilter builds the delivery filter of a partition event: a
+// symmetric split, or a directional one when oneway is set.
+func partitionFilter(ev Event) sim.DeliveryFilter {
+	if ev.OneWay {
+		return sim.SplitGroupsOneWay(ev.Groups)
+	}
+	return sim.SplitGroups(ev.Groups)
 }
 
 // eventCount resolves an event's victim count: Count wins, otherwise the
@@ -511,7 +528,7 @@ func applyEventEvent(net *core.AsyncNetwork, eng *sim.EventEngine, ev Event, bas
 			}
 		}
 	case "partition":
-		eng.SetDeliveryFilter(sim.SplitGroups(ev.Groups))
+		eng.SetDeliveryFilter(partitionFilter(ev))
 	case "heal":
 		eng.SetDeliveryFilter(nil)
 	case "set-link":

@@ -17,8 +17,8 @@ func (s *captureSink) Flush() error            { return nil }
 
 func TestBuiltinsNormalize(t *testing.T) {
 	names := BuiltinNames()
-	if len(names) != 9 {
-		t.Fatalf("expected 9 built-ins, got %v", names)
+	if len(names) != 10 {
+		t.Fatalf("expected 10 built-ins, got %v", names)
 	}
 	for _, name := range names {
 		s, ok := Builtin(name)
@@ -82,6 +82,40 @@ func TestWorkerInvariance(t *testing.T) {
 	}
 	if strings.Count(one, "\n") < 3 {
 		t.Fatalf("suspiciously little output:\n%s", one)
+	}
+}
+
+// TestApplyWorkerGridInvariance is the sharded-apply acceptance
+// criterion: for every cycle-engine built-in — each bundled protocol
+// stack has one — the campaign bytes are identical across the full
+// (propose workers × apply workers) ∈ {1,2,8}² grid. Run under -race in
+// CI, which also keeps the destination-sharded apply phase honest at the
+// high worker counts.
+func TestApplyWorkerGridInvariance(t *testing.T) {
+	grid := []int{1, 2, 8}
+	for _, name := range BuiltinNames() {
+		spec, _ := Builtin(name)
+		if spec.Engine == EngineEvent {
+			continue // single-threaded engine; nothing to vary
+		}
+		render := func(workers, applyWorkers int) string {
+			var buf bytes.Buffer
+			if _, err := Run(spec, Options{Workers: workers, ApplyWorkers: applyWorkers}, exp.NewCSVSink(&buf)); err != nil {
+				t.Fatalf("%s workers=%d applyworkers=%d: %v", name, workers, applyWorkers, err)
+			}
+			return buf.String()
+		}
+		want := render(1, 1)
+		for _, pw := range grid {
+			for _, aw := range grid {
+				if pw == 1 && aw == 1 {
+					continue
+				}
+				if got := render(pw, aw); got != want {
+					t.Fatalf("%s: output differs between 1x1 and %dx%d workers", name, pw, aw)
+				}
+			}
+		}
 	}
 }
 
@@ -258,6 +292,8 @@ func TestParseRejectsBadSpecs(t *testing.T) {
 		"link on cycle":        `{"name":"x","stack":{"link":{"loss_prob":0.1}}}`,
 		"negative delay":       `{"name":"x","engine":"event","stack":{"link":{"min_delay":-5}}}`,
 		"loss_prob over 1":     `{"name":"x","engine":"event","timeline":[{"at":1,"action":"set-link","link":{"loss_prob":1.5}}]}`,
+		"oneway on heal":       `{"name":"x","timeline":[{"at":1,"action":"heal","oneway":true}]}`,
+		"oneway on crash":      `{"name":"x","timeline":[{"at":1,"action":"crash","count":1,"oneway":true}]}`,
 	}
 	for label, raw := range cases {
 		if _, err := Parse([]byte(raw)); err == nil {
@@ -494,6 +530,34 @@ func TestAntiEntropyLossyScenario(t *testing.T) {
 	final := sink.recs[len(sink.recs)-1]
 	if final.Lost == 0 {
 		t.Fatalf("30%% drop probability lost nothing: %+v", final)
+	}
+}
+
+// TestAntiEntropyOnewayScenario: under the one-way cut the odd island's
+// maximum (node 63) cannot reach the even island — only low→high pushes
+// cross — so quality plateaus at ~0.5 while the cut holds; after the heal
+// the epidemic floods and quality reaches 0.
+func TestAntiEntropyOnewayScenario(t *testing.T) {
+	spec, _ := Builtin("antientropy-oneway")
+	var sink captureSink
+	sums, err := Run(spec, Options{}, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heal event (At: 30) fires before cycle 30 runs, so the cycle-20
+	// sample is the last one taken wholly inside the cut.
+	during := sink.recs[1]
+	if during.Cycle != 20 {
+		t.Fatalf("expected the cycle-20 sample, got %+v", during)
+	}
+	if during.Quality < 0.45 {
+		t.Fatalf("one-way cut leaked the odd island's maximum into the even island: quality %v at cycle 20", during.Quality)
+	}
+	if during.Dropped == 0 {
+		t.Fatalf("one-way cut dropped nothing: %+v", during)
+	}
+	if sums[0].Quality != 0 {
+		t.Fatalf("epidemic did not converge after the heal: final quality %v", sums[0].Quality)
 	}
 }
 

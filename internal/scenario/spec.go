@@ -127,7 +127,9 @@ type Event struct {
 	//	crash      kill Count nodes, or Fraction of the live population
 	//	join       add Count fresh nodes (cycle engine only)
 	//	revive     restart up to Count crashed nodes (ID order)
-	//	partition  split the network into Groups islands (ID mod Groups)
+	//	partition  split the network into Groups islands (ID mod Groups);
+	//	           with OneWay set, cross-island traffic still flows from
+	//	           lower-numbered islands to higher ones (a one-way cut)
 	//	heal       remove the partition
 	//	set-link   swap the link model to Link (event engine only; omit
 	//	           link to restore the stack's baseline link)
@@ -135,6 +137,7 @@ type Event struct {
 	Fraction float64 `json:"fraction,omitempty"`
 	Count    int     `json:"count,omitempty"`
 	Groups   int     `json:"groups,omitempty"`
+	OneWay   bool    `json:"oneway,omitempty"`
 	Link     *Link   `json:"link,omitempty"`
 }
 
@@ -346,6 +349,9 @@ func (s Spec) validateEvent(ev Event) error {
 		}
 	} else if ev.At > s.Stop.Time {
 		return fmt.Errorf("at=%v never fires: the run stops at time %v", ev.At, s.Stop.Time)
+	}
+	if ev.OneWay && ev.Action != "partition" {
+		return fmt.Errorf("oneway applies to partition events only")
 	}
 	switch ev.Action {
 	case "crash":

@@ -368,7 +368,7 @@ func RunSweep(sw SweepSpec, opts Options, sink exp.Sink) ([]SweepCellResult, err
 		finals      []exp.Record
 		toThreshold []float64
 	)
-	err = runRepPool(specs, reps, opts.RepWorkers, opts.Workers, base, func(o repOut) error {
+	err = runRepPool(specs, reps, opts, base, func(o repOut) error {
 		if o.rep == 0 {
 			sums = make([]RepSummary, 0, reps)
 			finals = make([]exp.Record, 0, reps)

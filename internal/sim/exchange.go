@@ -2,34 +2,46 @@ package sim
 
 // The two-phase exchange model.
 //
-// Engine.RunCycle executes each cycle in two phases:
+// Engine.RunCycle executes each cycle in two phases, both running on the
+// engine's persistent worker pool:
 //
 //   - Phase 1 (parallel propose): live nodes are partitioned into
-//     contiguous shards, one per worker. Each worker steps its nodes'
-//     protocols; a protocol implementing Proposer performs its node-local
-//     work (solver evaluation, timer bookkeeping, sampling a partner from
-//     its own view) and *proposes* exchanges by posting Messages through
-//     Proposals. During this phase a protocol may only read and write the
-//     state of its own node — never a peer's — which is what makes the
-//     phase safe to run on concurrent workers.
+//     contiguous shards, one per propose worker. Each worker steps its
+//     nodes' protocols; a protocol implementing Proposer performs its
+//     node-local work (solver evaluation, timer bookkeeping, sampling a
+//     partner from its own view) and *proposes* exchanges by posting
+//     Messages through Proposals. During this phase a protocol may only
+//     read and write the state of its own node — never a peer's — which
+//     is what makes the phase safe to run on concurrent workers.
 //
-//   - Phase 2 (deterministic apply): the per-worker outboxes are
-//     concatenated in shard order (= sender-ID order, independent of the
-//     worker count), shuffled into a seed-derived canonical order with the
-//     engine RNG, and delivered one at a time on the coordinator
-//     goroutine. A receiving protocol (Receiver) may mutate any node's
-//     state, including replying into the initiator's — apply is
-//     sequential, so there are no races and the outcome depends only on
-//     the canonical order.
+//   - Phase 2 (parallel apply): the per-worker outboxes are concatenated
+//     in shard order (= sender-ID order, independent of the propose worker
+//     count) and shuffled into a seed-derived canonical order with the
+//     engine RNG. Delivery then proceeds in *rounds*: each round's
+//     messages are partitioned by the node that must handle them — the
+//     destination for deliverable messages, the sender for undeliverable
+//     ones — so every node's messages land on exactly one apply worker,
+//     in canonical order. A handler is node-local: Receive/Undelivered may
+//     touch only the handled node's state and post follow-up messages
+//     (replies) through the ApplyContext; the follow-ups form the next
+//     round, globally ordered by the canonical index of the message that
+//     triggered them. Rounds repeat until no protocol posts a follow-up.
 //
-// Because every phase-1 draw comes from the stepped node's private RNG and
-// every phase-2 draw happens in canonical order on the coordinator, a run's
-// trace is bit-identical for any worker count, workers=1 included.
+// Determinism: the per-node handler-call order is the canonical order
+// restricted to that node, which no sharding can change; follow-ups are
+// re-canonicalized by trigger index; counters are classified on the
+// coordinator; and every apply-phase random draw comes from the handled
+// node's private RNG. A run's trace is therefore bit-identical for any
+// (propose workers × apply workers) combination, 1×1 included.
 //
-// Protocols that predate the exchange model keep working: anything
-// implementing only CycleStepper is stepped sequentially between the two
-// phases, in a freshly shuffled order, exactly like the historical
-// sequential engine.
+// The exchange idiom: symmetric protocols complete a pairwise exchange by
+// replying in the next round (ax.Send back to msg.From) instead of
+// reaching into the initiator through the engine, so each leg of the
+// exchange crosses the network — and the delivery filter — on its own.
+// A reply that cannot be delivered (a one-way partition) fires the
+// replier's Undelivered hook, which is where a protocol compensates
+// (gossip.Average rolls its half of the exchange back there, keeping the
+// global sum conserved under asymmetric cuts).
 
 // Message is one proposed exchange: a payload traveling from the proposing
 // node to a peer's protocol slot, delivered during the apply phase.
@@ -54,23 +66,27 @@ type Proposer interface {
 	Propose(n *Node, px *Proposals)
 }
 
-// Receiver is the phase-2 contract: Receive handles one delivered message.
-// It runs sequentially on the coordinator and may mutate any node,
-// typically its own state plus a symmetric reply into the sender's. The
-// delivery filter is consulted for the initiating message only; a
-// delivered exchange completes atomically, reply leg included — so a
-// filter models a link being down (no exchange at all), not a one-way
-// cut. Per-link asymmetric filters would need the reply routed as its
-// own message.
+// Receiver is the phase-2 contract: Receive handles one delivered message
+// on the destination node n. It runs on an apply worker that owns n for
+// the round, concurrently with other nodes' handlers, and therefore must
+// be node-local: it may touch only n's own state (its protocols, its RNG)
+// and ax. To complete a symmetric exchange it posts a reply through
+// ax.Send — delivered in the next apply round of the same cycle — instead
+// of mutating the initiator directly.
 type Receiver interface {
-	Receive(n *Node, e *Engine, msg Message)
+	Receive(n *Node, ax *ApplyContext, msg Message)
 }
 
 // Undeliverable is implemented by protocols that want failure feedback:
 // Undelivered is invoked on the *sender's* protocol instance when the
-// destination node is dead or gone at delivery time (n is the sender).
+// destination node is dead or unreachable at delivery time (n is the
+// sender) — the failure a real initiator would observe as a timed-out
+// connection. Like Receive it runs on an apply worker and must stay
+// node-local; ax.Alive distinguishes a confirmed crash from a peer that
+// is merely unreachable (delivery filter / partition), and ax.Send lets a
+// protocol compensate for a half-completed exchange whose reply leg died.
 type Undeliverable interface {
-	Undelivered(n *Node, e *Engine, msg Message)
+	Undelivered(n *Node, ax *ApplyContext, msg Message)
 }
 
 // Proposals is a worker-local outbox handed to Propose. It also aggregates
@@ -102,3 +118,69 @@ func (px *Proposals) CountEvals(k int64) { px.evals += k }
 
 // begin readies the outbox for the next node of the worker's shard.
 func (px *Proposals) begin(id NodeID) { px.from = id }
+
+// followUp is one reply posted during apply, tagged with the canonical
+// index of the message whose handler posted it so the coordinator can
+// restore the exact order a sequential apply would have produced.
+type followUp struct {
+	trigger int
+	msg     Message
+}
+
+// ApplyContext is the restricted per-worker context handed to phase-2
+// handlers (Receive/Undelivered). It deliberately does not expose the
+// engine: a handler sees only the node it was invoked on, the logical
+// cycle time, read-only liveness (frozen for the duration of the apply
+// phase), counters, and an outbox for follow-up messages. That restriction
+// is what makes the apply phase shardable by destination.
+type ApplyContext struct {
+	engine *Engine
+	cycle  int64
+	// self is the node currently being handled; follow-ups are sent from
+	// it.
+	self NodeID
+	// trigger is the canonical index of the message being handled.
+	trigger int
+	outbox  []followUp
+	evals   int64
+}
+
+// reset readies the context for a new apply round.
+func (ax *ApplyContext) reset(e *Engine, cycle int64) {
+	ax.engine = e
+	ax.cycle = cycle
+	ax.outbox = ax.outbox[:0]
+	ax.evals = 0
+}
+
+// Cycle returns the number of completed cycles, i.e. the logical timestamp
+// of the cycle being applied (the same stamp Propose saw).
+func (ax *ApplyContext) Cycle() int64 { return ax.cycle }
+
+// Send posts a follow-up message from the handled node, delivered in the
+// next apply round of the same cycle — the reply leg of a symmetric
+// exchange. Ownership of data transfers to the receiver, exactly as with
+// Proposals.Send. Follow-ups are re-canonicalized across workers by the
+// triggering message's canonical index, so their delivery order is
+// independent of the apply worker count.
+func (ax *ApplyContext) Send(to NodeID, slot int, data any) {
+	ax.outbox = append(ax.outbox, followUp{
+		trigger: ax.trigger,
+		msg:     Message{From: ax.self, To: to, Slot: slot, Data: data},
+	})
+}
+
+// Alive reports whether the node with the given ID currently exists and is
+// live. Node liveness is frozen while the apply phase runs (churn happens
+// at the start of a cycle, observers at its end, and handlers cannot crash
+// nodes), so the query is safe from concurrent apply workers. T-Man uses
+// it in Undelivered to distinguish a confirmed crash (tombstone) from an
+// unreachable, partitioned peer (re-adopted after the heal).
+func (ax *ApplyContext) Alive(id NodeID) bool {
+	n := ax.engine.nodes[id]
+	return n != nil && n.Alive
+}
+
+// CountEvals adds k objective evaluations to the engine's global counter
+// (aggregated race-free at the round barrier; see Engine.Evals).
+func (ax *ApplyContext) CountEvals(k int64) { ax.evals += k }

@@ -19,12 +19,12 @@ func (p *pingProto) Propose(n *Node, px *Proposals) {
 	px.Send(p.next, 0, "ping")
 }
 
-func (p *pingProto) Receive(n *Node, e *Engine, msg Message) {
+func (p *pingProto) Receive(n *Node, ax *ApplyContext, msg Message) {
 	p.got++
 	p.fromOrder = append(p.fromOrder, msg.From)
 }
 
-func (p *pingProto) Undelivered(n *Node, e *Engine, msg Message) { p.failed++ }
+func (p *pingProto) Undelivered(n *Node, ax *ApplyContext, msg Message) { p.failed++ }
 
 func buildPingRing(seed uint64, n, workers int) (*Engine, []*pingProto) {
 	e := NewEngine(seed)
@@ -101,46 +101,88 @@ func TestApplyOrderWorkerInvariant(t *testing.T) {
 	}
 }
 
-// mixedProto pairs a Proposer with a legacy CycleStepper on the same node
-// and records the phase interleaving.
-type phaseLog struct {
-	events *[]string
+// echoProto exercises the reply-round machinery: every cycle each node
+// proposes a ping to its partner; the receiver answers through ax.Send and
+// the initiator records the pong. One cycle therefore spans two apply
+// rounds, and the pong must arrive within the same cycle.
+type echoProto struct {
+	partner NodeID
+
+	pings, pongs, failed int
+	pongCycles           []int64
 }
 
-type proposerProto struct{ log *phaseLog }
+func (p *echoProto) Undelivered(n *Node, ax *ApplyContext, msg Message) { p.failed++ }
 
-func (p *proposerProto) Propose(n *Node, px *Proposals) {
-	*p.log.events = append(*p.log.events, "propose")
-	px.Send(n.ID, 0, "self")
+func (p *echoProto) Propose(n *Node, px *Proposals) {
+	px.Send(p.partner, 0, "ping")
 }
 
-func (p *proposerProto) Receive(n *Node, e *Engine, msg Message) {
-	*p.log.events = append(*p.log.events, "apply")
-}
-
-type legacyProto struct{ log *phaseLog }
-
-func (l *legacyProto) NextCycle(n *Node, e *Engine) {
-	*l.log.events = append(*l.log.events, "legacy")
-}
-
-// TestPhaseOrdering: propose happens first, then the legacy sequential
-// step, then apply — so legacy protocols observe pre-exchange state.
-func TestPhaseOrdering(t *testing.T) {
-	var events []string
-	log := &phaseLog{events: &events}
-	e := NewEngine(3)
-	n := e.AddNode()
-	n.Protocols = []Protocol{&proposerProto{log: log}, &legacyProto{log: log}}
-	e.RunCycle()
-	want := []string{"propose", "legacy", "apply"}
-	if len(events) != len(want) {
-		t.Fatalf("events = %v", events)
+func (p *echoProto) Receive(n *Node, ax *ApplyContext, msg Message) {
+	switch msg.Data {
+	case "ping":
+		p.pings++
+		ax.Send(msg.From, 0, "pong")
+	case "pong":
+		p.pongs++
+		p.pongCycles = append(p.pongCycles, ax.Cycle())
 	}
-	for i := range want {
-		if events[i] != want[i] {
-			t.Fatalf("events = %v, want %v", events, want)
+}
+
+// TestReplyRoundsCompleteWithinCycle: follow-ups posted by Receive are
+// delivered in a later apply round of the same cycle, so an exchange's
+// reply leg lands before the cycle ends.
+func TestReplyRoundsCompleteWithinCycle(t *testing.T) {
+	e := NewEngine(3)
+	protos := make([]*echoProto, 0, 2)
+	e.SetNodeFactory(func(nd *Node) {
+		p := &echoProto{partner: 1 - nd.ID}
+		protos = append(protos, p)
+		nd.Protocols = []Protocol{p}
+	})
+	e.AddNodes(2)
+	e.Run(4)
+	for i, p := range protos {
+		if p.pings != 4 || p.pongs != 4 {
+			t.Fatalf("node %d: pings=%d pongs=%d, want 4/4", i, p.pings, p.pongs)
 		}
+		for j, c := range p.pongCycles {
+			if c != int64(j) {
+				t.Fatalf("node %d pong %d arrived in cycle %d", i, j, c)
+			}
+		}
+	}
+	// Each cycle: 2 pings + 2 pongs delivered.
+	if e.Delivered() != 16 || e.Dropped() != 0 {
+		t.Fatalf("delivered=%d dropped=%d, want 16/0", e.Delivered(), e.Dropped())
+	}
+}
+
+// TestReplyToUnreachableFiresUndelivered: a reply leg blocked by a
+// directional filter takes the undeliverable path on the replier.
+func TestReplyToUnreachableFiresUndelivered(t *testing.T) {
+	e := NewEngine(5)
+	a := e.AddNode() // island 0 under a 2-way one-way split
+	b := e.AddNode() // island 1
+	ea := &echoProto{partner: b.ID}
+	eb := &echoProto{partner: a.ID}
+	a.Protocols = []Protocol{ea}
+	b.Protocols = []Protocol{eb}
+
+	e.SetDeliveryFilter(SplitGroupsOneWay(2))
+	e.RunCycle()
+	// a's ping (0→1) crosses; b's pong (1→0) is blocked, as is b's own
+	// ping. So b saw one ping, nobody saw a pong.
+	if eb.pings != 1 || ea.pongs != 0 || ea.pings != 0 {
+		t.Fatalf("one-way split: b.pings=%d a.pongs=%d a.pings=%d, want 1/0/0", eb.pings, ea.pongs, ea.pings)
+	}
+	// b's Undelivered fired twice: once for its own ping, once for the
+	// blocked pong reply.
+	if eb.failed != 2 || ea.failed != 0 {
+		t.Fatalf("undelivered: b=%d a=%d, want 2/0", eb.failed, ea.failed)
+	}
+	if e.Delivered() != 1 || e.Dropped() != 2 {
+		t.Fatalf("delivered=%d dropped=%d, want 1/2", e.Delivered(), e.Dropped())
 	}
 }
 

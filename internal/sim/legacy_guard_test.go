@@ -3,21 +3,27 @@ package sim
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
 
-// TestNoLegacyProtocolsRemain is the grep-guard for the completed
-// propose/apply migration: every bundled protocol in internal/gossip and
-// internal/overlay must speak the two-phase exchange contract, so none may
-// define (or reference) the sequential NextCycle hook. A protocol stepped
-// through CycleStepper mutates peers directly via e.Node(...), silently
-// bypassing the delivery filter — partitions and the Delivered/Dropped
-// counters would simply not apply to it. CycleStepper itself stays
-// supported by the engine for out-of-tree protocols; the bundled ones must
-// not regress onto it.
+// engineInHandler matches a Receive/Undelivered method that takes the
+// engine instead of the restricted ApplyContext — the pre-sharding
+// contract. sim.Protocol is untyped, so such a method still compiles; it
+// just silently stops matching sim.Receiver and the protocol goes deaf.
+var engineInHandler = regexp.MustCompile(`func \([^)]*\) (Receive|Undelivered)\([^)]*\*(sim\.)?Engine`)
+
+// TestNoLegacyProtocolsRemain is the grep-guard for the node-local apply
+// contract: the engine deleted the sequential CycleStepper path entirely,
+// so no bundled protocol may define (or reference) the NextCycle hook, and
+// none may declare a Receive/Undelivered that reaches for the whole
+// *Engine — handlers get an ApplyContext and must stay node-local, which
+// is what makes the destination-sharded parallel apply phase sound (and
+// what makes partitions and the Delivered/Dropped counters apply to every
+// message leg).
 func TestNoLegacyProtocolsRemain(t *testing.T) {
-	for _, dir := range []string{"../gossip", "../overlay"} {
+	for _, dir := range []string{"../gossip", "../overlay", "../core"} {
 		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
@@ -32,7 +38,10 @@ func TestNoLegacyProtocolsRemain(t *testing.T) {
 				t.Fatal(err)
 			}
 			if strings.Contains(string(data), "NextCycle") {
-				t.Errorf("%s references NextCycle: bundled protocols must use the Proposer/Receiver/Undeliverable contract so partitions and message counters apply to them", path)
+				t.Errorf("%s references NextCycle: the engine has no sequential step anymore; use the Proposer/Receiver/Undeliverable contract", path)
+			}
+			if m := engineInHandler.Find(data); m != nil {
+				t.Errorf("%s declares an engine-taking handler (%s...): Receive/Undelivered take an *sim.ApplyContext and must stay node-local", path, m)
 			}
 		}
 	}

@@ -11,9 +11,14 @@ package sim
 // currently deliverable. A nil filter means the network is whole.
 // Self-messages (timers) are never filtered.
 //
-// In the cycle engine a blocked message takes the undeliverable path (the
-// sender's Undeliverable hook fires, as for a dead destination); in the
-// event engine it is counted as dropped.
+// The filter is directional: it is consulted once per message leg with
+// that leg's (from, to) pair, and in the cycle engine every leg of an
+// exchange — the reply included — is its own message. A symmetric filter
+// (SplitGroups) therefore models a link being down: if the initiating leg
+// crosses, the reply crosses too. An asymmetric filter (SplitGroupsOneWay)
+// models a one-way cut, where an exchange can half-complete: the blocked
+// leg takes the undeliverable path (the sender's Undeliverable hook fires,
+// as for a dead destination), which is where protocols compensate.
 type DeliveryFilter func(from, to NodeID) bool
 
 // SplitGroups returns a filter modelling a partition into k islands:
@@ -27,6 +32,21 @@ func SplitGroups(k int) DeliveryFilter {
 	}
 	kk := NodeID(k)
 	return func(from, to NodeID) bool { return from%kk == to%kk }
+}
+
+// SplitGroupsOneWay returns a directional partition into k islands (ID mod
+// k, like SplitGroups) whose cross-island traffic flows in one direction
+// only: from a lower-numbered island to a higher-numbered one. With k = 2,
+// island 0 (even IDs) can still talk *into* island 1 (odd IDs), but
+// nothing comes back — the shape of a mis-configured firewall or a broken
+// return route, under which reply legs die and push-only information flow
+// is all that survives. k <= 1 returns nil.
+func SplitGroupsOneWay(k int) DeliveryFilter {
+	if k <= 1 {
+		return nil
+	}
+	kk := NodeID(k)
+	return func(from, to NodeID) bool { return from%kk <= to%kk }
 }
 
 // blocked reports whether f (possibly nil) blocks a from→to message.

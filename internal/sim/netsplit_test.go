@@ -15,6 +15,22 @@ func TestSplitGroups(t *testing.T) {
 	}
 }
 
+func TestSplitGroupsOneWay(t *testing.T) {
+	if SplitGroupsOneWay(0) != nil || SplitGroupsOneWay(1) != nil {
+		t.Fatal("k <= 1 must mean no partition")
+	}
+	f := SplitGroupsOneWay(2)
+	if !f(0, 2) || !f(1, 3) {
+		t.Fatal("same-island traffic blocked")
+	}
+	if !f(0, 1) || !f(2, 3) {
+		t.Fatal("low-to-high island traffic blocked")
+	}
+	if f(1, 0) || f(3, 2) {
+		t.Fatal("high-to-low island traffic allowed")
+	}
+}
+
 // TestEnginePartitionAndHeal: under a partition, cross-island pings take
 // the undeliverable path and same-island traffic is unaffected; after the
 // heal, delivery resumes.

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool is the engine's persistent pool of phase workers. Both cycle
+// phases (parallel propose, sharded apply) run their shards on it, so the
+// steady state of a run spawns zero goroutines per cycle — the pool grows
+// once to the largest parallelism ever requested and its goroutines then
+// idle on the job channel between phases (see BenchmarkEngineWorkers and
+// BenchmarkApplyShards).
+//
+// Lifecycle: the pool is owned by exactly one Engine and used only from
+// the coordinator goroutine. Engine.Close shuts it down deterministically;
+// a finalizer backstop shuts it down when an engine is simply dropped
+// (campaign and sweep runners build one engine per repetition, so leaking
+// a pool per engine would accumulate thousands of parked goroutines).
+// The worker goroutines reference only the job channel, never the pool or
+// the engine, so they keep neither reachable.
+type workerPool struct {
+	jobs chan func()
+	size int
+	stop sync.Once
+}
+
+// newWorkerPool creates an empty pool and registers the finalizer
+// backstop.
+func newWorkerPool() *workerPool {
+	p := &workerPool{jobs: make(chan func())}
+	runtime.SetFinalizer(p, func(p *workerPool) { p.shutdown() })
+	return p
+}
+
+// grow ensures at least n persistent workers exist.
+func (p *workerPool) grow(n int) {
+	for ; p.size < n; p.size++ {
+		go func(jobs chan func()) {
+			for f := range jobs {
+				f()
+			}
+		}(p.jobs)
+	}
+}
+
+// run executes fn(0..shards-1) across the pool and returns when all shards
+// are done. Shard 0 always runs on the calling (coordinator) goroutine, so
+// shards == 1 never touches the pool and a single-worker engine needs no
+// pool goroutines at all.
+func (p *workerPool) run(shards int, fn func(shard int)) {
+	if shards <= 1 {
+		fn(0)
+		return
+	}
+	p.grow(shards - 1)
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		s := s
+		p.jobs <- func() {
+			defer wg.Done()
+			fn(s)
+		}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// shutdown terminates the pool's goroutines. Idempotent; the pool must not
+// be used afterwards.
+func (p *workerPool) shutdown() {
+	p.stop.Do(func() {
+		runtime.SetFinalizer(p, nil)
+		close(p.jobs)
+	})
+}

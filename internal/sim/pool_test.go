@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPoolSpawnsNoGoroutinesInSteadyState is the persistent-pool
+// acceptance check: after the first multi-worker cycle has grown the pool,
+// further cycles must not change the process goroutine count — phases
+// reuse the parked workers instead of spawning per cycle.
+func TestPoolSpawnsNoGoroutinesInSteadyState(t *testing.T) {
+	e, _ := buildPingRing(31, 64, 8)
+	e.SetApplyWorkers(8)
+	defer e.Close()
+	// Pin the runtime's own background goroutines (GC mark workers, the
+	// finalizer runner) into existence before measuring, so the assertion
+	// sees only engine-spawned goroutines.
+	runtime.GC()
+	runtime.GC()
+	e.Run(2) // grow the pool
+	size := e.pool.size
+	if size != 7 { // 8 shards; shard 0 runs on the coordinator
+		t.Fatalf("pool grew to %d workers after warmup, want 7", size)
+	}
+	before := runtime.NumGoroutine()
+	e.Run(50)
+	if e.pool.size != size {
+		t.Fatalf("pool grew in steady state: %d -> %d workers", size, e.pool.size)
+	}
+	// NumGoroutine may shrink if finalizers reap earlier engines' pools,
+	// but it must never rise — a rise means cycles are spawning.
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine count rose in steady state: %d -> %d", before, after)
+	}
+}
+
+// TestPoolCloseIdempotent: Close must be safe to call repeatedly (the
+// runner defers it, tests may also call it explicitly).
+func TestPoolCloseIdempotent(t *testing.T) {
+	e := NewEngine(32)
+	e.Close()
+	e.Close()
+}
+
+// TestSetWorkersDrivesApplyDefault: apply parallelism follows SetWorkers
+// until SetApplyWorkers overrides it.
+func TestSetWorkersDrivesApplyDefault(t *testing.T) {
+	e := NewEngine(33)
+	defer e.Close()
+	e.SetWorkers(6)
+	if e.ApplyWorkers() != 6 {
+		t.Fatalf("ApplyWorkers = %d, want 6 (follow SetWorkers)", e.ApplyWorkers())
+	}
+	e.SetApplyWorkers(2)
+	if e.ApplyWorkers() != 2 || e.Workers() != 6 {
+		t.Fatalf("ApplyWorkers = %d Workers = %d, want 2/6", e.ApplyWorkers(), e.Workers())
+	}
+	e.SetWorkers(3)
+	if e.ApplyWorkers() != 2 {
+		t.Fatalf("explicit ApplyWorkers overridden by SetWorkers: %d", e.ApplyWorkers())
+	}
+}

@@ -4,24 +4,26 @@
 //
 //   - a cycle-driven engine (Engine): in each cycle every live node's
 //     protocols are stepped once, like PeerSim's CDSimulator but with a
-//     two-phase exchange model (see exchange.go) that shards the
-//     node-local work across worker goroutines and applies all proposed
-//     exchanges in a seed-derived canonical order. This is what the
-//     paper's experiments use.
+//     two-phase exchange model (see exchange.go) that shards both the
+//     propose and the apply work across a persistent pool of worker
+//     goroutines while keeping every trace bit-identical to a
+//     single-threaded run. This is what the paper's experiments use.
 //   - an event-driven engine (EventEngine, see events.go): a time-ordered
 //     event heap with configurable link latency and message loss, for
 //     experiments where asynchrony matters.
 //
 // Determinism: given the same seed, node count and protocol stack, a run
-// produces the identical trace — for any worker count, workers=1 included.
-// Each node owns a split RNG stream so that adding observers or reordering
-// unrelated code does not perturb results, and so that stepping nodes on
-// parallel workers neither races nor changes the per-node draw sequence.
+// produces the identical trace — for any propose-worker and apply-worker
+// count, 1×1 included. Each node owns a split RNG stream so that adding
+// observers or reordering unrelated code does not perturb results, and so
+// that stepping nodes on parallel workers neither races nor changes the
+// per-node draw sequence.
 package sim
 
 import (
+	"cmp"
 	"fmt"
-	"sync"
+	"slices"
 
 	"gossipopt/internal/rng"
 )
@@ -31,39 +33,22 @@ import (
 type NodeID int64
 
 // Protocol is one layer of a node's protocol stack in the cycle-driven
-// model. An implementation provides at least one execution contract:
+// model. An implementation provides the two-phase exchange contract of
+// exchange.go: Proposer (node-local work on parallel propose workers) and
+// usually Receiver/Undeliverable (node-local delivery handling on parallel
+// apply workers). The historical sequential CycleStepper contract is gone:
+// every message of every protocol flows through the mailbox, so delivery
+// filters (partitions) and the Delivered/Dropped counters apply uniformly,
+// and no phase of a cycle is serial.
 //
-//   - Proposer (and usually Receiver/Undeliverable): the two-phase
-//     exchange model of exchange.go — node-local work on parallel
-//     workers, exchanges applied deterministically afterwards;
-//   - CycleStepper: the historical sequential contract — stepped one node
-//     at a time in a shuffled order and free to mutate peers directly.
+// Protocol is intentionally untyped (a slot may hold a passive service
+// that other protocols query, e.g. a static topology), so a drifted method
+// signature compiles and the engine silently skips the protocol. Guard
+// against that with a compile-time assertion next to every implementation,
+// as the bundled protocols do:
 //
-// A protocol implementing both is driven through the Proposer contract.
-//
-// CycleStepper is deprecated for new protocols: a NextCycle body reaches
-// into peers via e.Node(...), so its traffic never passes through the
-// mailbox — delivery filters (partitions) and the Delivered/Dropped
-// counters silently do not apply to it, and it caps a cycle's
-// parallelism. Every bundled protocol speaks Proposer (a guard test in
-// this package keeps internal/gossip and internal/overlay free of
-// NextCycle); the sequential path remains only for out-of-tree code.
-//
-// Protocol is intentionally untyped (a slot may hold either contract), so
-// a drifted method signature compiles and the engine silently skips the
-// protocol. Guard against that with a compile-time assertion next to every
-// implementation, as the bundled protocols do:
-//
-//	var _ sim.Proposer = (*MyProto)(nil) // or sim.CycleStepper
+//	var _ sim.Proposer = (*MyProto)(nil)
 type Protocol interface{}
-
-// CycleStepper is the sequential protocol contract: NextCycle is invoked
-// once per cycle per live node, in a freshly shuffled order, and may reach
-// into peer state directly. Protocols that implement Proposer instead are
-// stepped on parallel workers and scale with Engine.SetWorkers.
-type CycleStepper interface {
-	NextCycle(n *Node, e *Engine)
-}
 
 // Node is one simulated peer. Protocol state lives in the Protocols slice;
 // slot indices are assigned by the experiment setup and shared across all
@@ -93,12 +78,20 @@ type Engine struct {
 	// and Revive so LiveCount is O(1); churn models call it per node).
 	live int
 	// evals is the maintained count of objective evaluations, fed by
-	// Proposals.CountEvals at each cycle's phase barrier so budget checks
-	// are O(1) instead of an O(n) scan per cycle.
+	// Proposals.CountEvals and ApplyContext.CountEvals at each phase
+	// barrier so budget checks are O(1) instead of an O(n) scan per cycle.
 	evals int64
 
-	// workers is the phase-1 parallelism (see SetWorkers).
-	workers int
+	// workers is the propose-phase parallelism; applyWorkers, when
+	// positive, overrides it for the apply phase (see SetWorkers /
+	// SetApplyWorkers).
+	workers      int
+	applyWorkers int
+
+	// pool is the persistent worker pool both phases run on; it grows to
+	// the largest parallelism requested and never spawns goroutines in the
+	// per-cycle steady state.
+	pool *workerPool
 
 	// churn, when non-nil, is applied at the start of every cycle.
 	churn ChurnModel
@@ -108,7 +101,7 @@ type Engine struct {
 	// filter, when non-nil, gates message delivery (network partitions).
 	filter DeliveryFilter
 	// delivered/dropped count apply-phase deliveries and messages lost to
-	// dead destinations or the delivery filter.
+	// dead destinations or the delivery filter, reply legs included.
 	delivered, dropped int64
 
 	// observers run after every cycle.
@@ -116,10 +109,23 @@ type Engine struct {
 
 	// scratch buffers reused across cycles.
 	liveScratch   []*Node
-	legacyScratch []*Node
 	msgScratch    []Message
 	outScratch    []Proposals
-	legacyParts   [][]*Node
+	applyCtxs     []ApplyContext
+	applyBuckets  [][]applyJob
+	followScratch []followUp
+	roundBufs     [2][]Message
+}
+
+// applyJob is one routed message of an apply round: the node that must
+// handle it (the destination when deliverable, the sender otherwise) plus
+// the message's canonical index, which orders handler calls per node and
+// tags follow-ups.
+type applyJob struct {
+	idx     int
+	deliver bool
+	node    *Node
+	msg     Message
 }
 
 // Observer inspects the network after each cycle; returning false stops the
@@ -133,8 +139,15 @@ func NewEngine(seed uint64) *Engine {
 		rng:     rng.New(seed),
 		nodes:   make(map[NodeID]*Node),
 		workers: 1,
+		pool:    newWorkerPool(),
 	}
 }
+
+// Close releases the engine's worker pool. Optional: a dropped engine's
+// pool is reclaimed by a finalizer backstop, but callers that build many
+// engines (campaign runners) close deterministically. The engine must not
+// run again after Close.
+func (e *Engine) Close() { e.pool.shutdown() }
 
 // RNG exposes the engine's private random stream (for setup code).
 func (e *Engine) RNG() *rng.RNG { return e.rng }
@@ -147,21 +160,25 @@ func (e *Engine) SetChurn(c ChurnModel) { e.churn = c }
 
 // SetDeliveryFilter installs (or, with nil, removes) the delivery filter
 // consulted for every apply-phase message — the partition/heal hook for
-// scripted scenarios. Blocked messages take the same undeliverable path as
+// scripted scenarios. Every leg of an exchange is judged on its own,
+// replies included, so a directional filter (SplitGroupsOneWay) models a
+// one-way cut. Blocked messages take the same undeliverable path as
 // messages to dead nodes: the sender's Undeliverable hook fires.
 func (e *Engine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
 
 // Delivered returns the count of apply-phase messages delivered to a live,
-// reachable destination.
+// reachable destination (reply legs included).
 func (e *Engine) Delivered() int64 { return e.delivered }
 
 // Dropped returns the count of apply-phase messages lost to a dead
-// destination or to the delivery filter (partitions).
+// destination or to the delivery filter (partitions), reply legs included.
 func (e *Engine) Dropped() int64 { return e.dropped }
 
-// SetWorkers sets the number of goroutines stepping nodes during the
-// propose phase (values < 1 mean 1). The trace is bit-identical for every
-// worker count; workers only change wall-clock speed.
+// SetWorkers sets the number of pool workers stepping nodes during the
+// propose phase (values < 1 mean 1) — and, unless SetApplyWorkers has
+// overridden it, the apply-phase parallelism too. The trace is
+// bit-identical for every worker count; workers only change wall-clock
+// speed.
 func (e *Engine) SetWorkers(w int) {
 	if w < 1 {
 		w = 1
@@ -172,14 +189,34 @@ func (e *Engine) SetWorkers(w int) {
 // Workers returns the configured propose-phase parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetApplyWorkers overrides the apply-phase parallelism independently of
+// the propose phase (values < 1 mean 1). Until it is called, the apply
+// phase follows SetWorkers. Traces are bit-identical for every
+// (propose workers × apply workers) combination.
+func (e *Engine) SetApplyWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	e.applyWorkers = w
+}
+
+// ApplyWorkers returns the effective apply-phase parallelism.
+func (e *Engine) ApplyWorkers() int {
+	if e.applyWorkers > 0 {
+		return e.applyWorkers
+	}
+	return e.workers
+}
+
 // Evals returns the engine-maintained count of objective evaluations
-// (reported by protocols through Proposals.CountEvals). Evaluations of
-// since-crashed nodes remain counted. O(1).
+// (reported by protocols through Proposals.CountEvals or
+// ApplyContext.CountEvals). Evaluations of since-crashed nodes remain
+// counted. O(1).
 func (e *Engine) Evals() int64 { return e.evals }
 
-// CountEvals adds k evaluations to the engine counter. Setup code and
-// sequential (CycleStepper) protocols may call it directly; propose-phase
-// code must use Proposals.CountEvals instead.
+// CountEvals adds k evaluations to the engine counter. Setup code may call
+// it directly; phase code must use Proposals.CountEvals or
+// ApplyContext.CountEvals instead.
 func (e *Engine) CountEvals(k int64) { e.evals += k }
 
 // SetNodeFactory installs the function used to populate the protocol stack
@@ -294,18 +331,18 @@ func (e *Engine) RandomLiveNode(exclude NodeID) *Node {
 }
 
 // RunCycle executes one cycle of the two-phase exchange model: churn, the
-// parallel propose phase, the sequential legacy step, the deterministic
-// apply phase, then observers. It reports false if any observer requested
-// termination. See exchange.go for the model's contracts and the
-// determinism argument.
+// parallel propose phase, the destination-sharded parallel apply phase,
+// then observers. It reports false if any observer requested termination.
+// See exchange.go for the model's contracts and the determinism argument.
 func (e *Engine) RunCycle() bool {
 	if e.churn != nil {
 		e.churn.Apply(e)
 	}
 
-	// Snapshot the live population; churn is done for this cycle, so the
-	// set is stable through both phases (legacy protocols may still crash
-	// nodes mid-cycle — apply re-checks aliveness).
+	// Snapshot the live population; churn is done for this cycle and
+	// handlers cannot crash nodes, so liveness is frozen through both
+	// phases (which is also what makes ApplyContext.Alive safe to call
+	// from concurrent apply workers).
 	live := e.liveScratch[:0]
 	for _, id := range e.order {
 		if n := e.nodes[id]; n != nil && n.Alive {
@@ -327,93 +364,50 @@ func (e *Engine) RunCycle() bool {
 	}
 	if cap(e.outScratch) < workers {
 		e.outScratch = make([]Proposals, workers)
-		e.legacyParts = make([][]*Node, workers)
 	}
 	outs := e.outScratch[:workers]
-	legacies := e.legacyParts[:workers]
 	for w := range outs {
 		outs[w].msgs = outs[w].msgs[:0]
 		outs[w].evals = 0
-		legacies[w] = legacies[w][:0]
 	}
-	shard := func(w int) {
+	e.pool.run(workers, func(w int) {
 		px := &outs[w]
 		px.cycle = e.cycle
 		lo, hi := w*len(live)/workers, (w+1)*len(live)/workers
 		for _, n := range live[lo:hi] {
 			px.begin(n.ID)
-			hasLegacy := false
 			for _, p := range n.Protocols {
-				switch pr := p.(type) {
-				case Proposer:
+				if pr, ok := p.(Proposer); ok {
 					pr.Propose(n, px)
-				case CycleStepper:
-					hasLegacy = true
 				}
 			}
-			if hasLegacy {
-				legacies[w] = append(legacies[w], n)
-			}
 		}
-	}
-	if workers == 1 {
-		shard(0)
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func(w int) {
-				defer wg.Done()
-				shard(w)
-			}(w)
-		}
-		wg.Wait()
-	}
+	})
 	for w := range outs {
 		e.evals += outs[w].evals
 	}
 
-	// Sequential step for protocols predating the exchange model, in a
-	// freshly shuffled order — the historical engine's exact semantics.
-	legacy := e.legacyScratch[:0]
-	for _, part := range legacies {
-		legacy = append(legacy, part...)
-	}
-	e.legacyScratch = legacy
-	if len(legacy) > 0 {
-		e.rng.Shuffle(len(legacy), func(i, j int) { legacy[i], legacy[j] = legacy[j], legacy[i] })
-		for _, n := range legacy {
-			if !n.Alive {
-				continue // may have crashed mid-cycle via protocol action
-			}
-			for _, p := range n.Protocols {
-				if cs, ok := p.(CycleStepper); ok {
-					if _, par := p.(Proposer); !par {
-						cs.NextCycle(n, e)
-					}
-				}
-			}
-		}
-	}
-
-	// Phase 2: deterministic apply. Concatenate outboxes (sender-ID
-	// order), shuffle into the cycle's canonical delivery order with the
-	// engine RNG, then deliver sequentially.
+	// Phase 2: deterministic parallel apply. Move the outbox messages into
+	// the canonical list, shuffle into the cycle's canonical delivery
+	// order with the engine RNG, then deliver in destination-sharded
+	// rounds until no handler posts a follow-up. Payload references die in
+	// one place, releaseApplyScratch, once the rounds are done.
 	msgs := e.msgScratch[:0]
 	for w := range outs {
 		msgs = append(msgs, outs[w].msgs...)
 	}
 	e.msgScratch = msgs
 	e.rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
-	for i := range msgs {
-		e.deliver(msgs[i])
-		msgs[i].Data = nil // release payload references for reuse
-	}
-	for w := range outs {
-		for i := range outs[w].msgs {
-			outs[w].msgs[i].Data = nil // ditto for the reused outboxes
+	for round, buf := msgs, 0; len(round) > 0; buf ^= 1 {
+		follows := e.applyRound(round)
+		next := e.roundBufs[buf][:0]
+		for _, f := range follows {
+			next = append(next, f.msg)
 		}
+		e.roundBufs[buf] = next
+		round = next
 	}
+	e.releaseApplyScratch(outs)
 
 	e.cycle++
 	cont := true
@@ -425,31 +419,110 @@ func (e *Engine) RunCycle() bool {
 	return cont
 }
 
-// deliver routes one message: to the destination's Receiver when the
-// destination is alive and reachable, otherwise back to the sender's
-// Undeliverable hook (the failure feedback a real initiator would get from
-// a timed-out connection). The delivery filter is consulted here, at
+// applyRound delivers one round of messages and returns the follow-ups
+// posted by its handlers, in canonical (trigger index, emission) order.
+//
+// The coordinator first classifies every message — to the destination's
+// Receiver when the destination is alive and reachable, otherwise back to
+// the sender's Undeliverable hook (the failure feedback a real initiator
+// would get from a timed-out connection) — moving the Delivered/Dropped
+// counters deterministically. The delivery filter is consulted here, at
 // delivery time, so a partition installed mid-run also blocks messages
-// proposed earlier in the same cycle.
-func (e *Engine) deliver(m Message) {
-	dst := e.nodes[m.To]
-	if dst == nil || !dst.Alive || e.filter.blocked(m.From, m.To) {
-		e.dropped++
-		src := e.nodes[m.From]
-		if src == nil || m.Slot >= len(src.Protocols) {
-			return
-		}
-		if u, ok := src.Protocols[m.Slot].(Undeliverable); ok {
-			u.Undelivered(src, e, m)
-		}
-		return
+// proposed earlier in the same cycle. Routed jobs are then sharded by the
+// handling node's ID across the apply workers: all of one node's messages
+// land on one worker in canonical order, so per-node handler order — the
+// only order a node-local handler can observe — is independent of the
+// worker count.
+func (e *Engine) applyRound(round []Message) []followUp {
+	workers := e.ApplyWorkers()
+	if workers > len(round) {
+		workers = len(round)
 	}
-	e.delivered++
-	if m.Slot >= len(dst.Protocols) {
-		return
+	if workers < 1 {
+		workers = 1
 	}
-	if r, ok := dst.Protocols[m.Slot].(Receiver); ok {
-		r.Receive(dst, e, m)
+	if cap(e.applyBuckets) < workers {
+		e.applyBuckets = make([][]applyJob, workers)
+		e.applyCtxs = make([]ApplyContext, workers)
+	}
+	buckets := e.applyBuckets[:workers]
+	for w := range buckets {
+		buckets[w] = buckets[w][:0]
+	}
+	for i, m := range round {
+		var job applyJob
+		if dst := e.nodes[m.To]; dst != nil && dst.Alive && !e.filter.blocked(m.From, m.To) {
+			e.delivered++
+			job = applyJob{idx: i, deliver: true, node: dst, msg: m}
+		} else {
+			e.dropped++
+			src := e.nodes[m.From]
+			if src == nil {
+				continue
+			}
+			job = applyJob{idx: i, node: src, msg: m}
+		}
+		w := int(uint64(job.node.ID) % uint64(workers))
+		buckets[w] = append(buckets[w], job)
+	}
+
+	ctxs := e.applyCtxs[:workers]
+	e.pool.run(workers, func(w int) {
+		ax := &ctxs[w]
+		ax.reset(e, e.cycle)
+		for _, j := range buckets[w] {
+			if j.msg.Slot >= len(j.node.Protocols) {
+				continue
+			}
+			ax.self = j.node.ID
+			ax.trigger = j.idx
+			if j.deliver {
+				if r, ok := j.node.Protocols[j.msg.Slot].(Receiver); ok {
+					r.Receive(j.node, ax, j.msg)
+				}
+			} else if u, ok := j.node.Protocols[j.msg.Slot].(Undeliverable); ok {
+				u.Undelivered(j.node, ax, j.msg)
+			}
+		}
+	})
+
+	// Round barrier: aggregate per-worker eval counts and restore the
+	// sequential follow-up order. Each worker's outbox is already sorted by
+	// trigger (its bucket is processed in ascending canonical order), so a
+	// stable sort across the concatenation reconstructs exactly the order
+	// a single sequential pass would have produced.
+	follows := e.followScratch[:0]
+	for w := range ctxs {
+		e.evals += ctxs[w].evals
+		follows = append(follows, ctxs[w].outbox...)
+	}
+	slices.SortStableFunc(follows, func(a, b followUp) int { return cmp.Compare(a.trigger, b.trigger) })
+	e.followScratch = follows
+	return follows
+}
+
+// releaseApplyScratch is the one place a cycle's payload references die.
+// Every apply-phase scratch buffer — the propose outboxes, the canonical
+// list, the routed job lists, the per-worker follow-up outboxes and the
+// merged follow-ups, the round buffers — keeps its capacity across cycles,
+// so each is cleared over its full capacity extent; otherwise stale
+// entries beyond the next cycle's high-water mark would pin delivered
+// payloads (and their nodes) for the engine's lifetime.
+func (e *Engine) releaseApplyScratch(outs []Proposals) {
+	for w := range outs {
+		clear(outs[w].msgs[:cap(outs[w].msgs)])
+	}
+	clear(e.msgScratch[:cap(e.msgScratch)])
+	for w := range e.applyBuckets {
+		clear(e.applyBuckets[w][:cap(e.applyBuckets[w])])
+	}
+	for w := range e.applyCtxs {
+		out := e.applyCtxs[w].outbox
+		clear(out[:cap(out)])
+	}
+	clear(e.followScratch[:cap(e.followScratch)])
+	for b := range e.roundBufs {
+		clear(e.roundBufs[b][:cap(e.roundBufs[b])])
 	}
 }
 
@@ -467,5 +540,6 @@ func (e *Engine) Run(maxCycles int64) int64 {
 
 // String summarizes the engine state.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{cycle=%d nodes=%d live=%d workers=%d}", e.cycle, e.Size(), e.LiveCount(), e.workers)
+	return fmt.Sprintf("sim.Engine{cycle=%d nodes=%d live=%d workers=%d apply=%d}",
+		e.cycle, e.Size(), e.LiveCount(), e.workers, e.ApplyWorkers())
 }

@@ -10,7 +10,7 @@ type countingProto struct {
 	steps int
 }
 
-func (c *countingProto) NextCycle(n *Node, e *Engine) { c.steps++ }
+func (c *countingProto) Propose(n *Node, px *Proposals) { c.steps++ }
 
 func newCountingEngine(seed uint64, n int) (*Engine, []*countingProto) {
 	e := NewEngine(seed)
