@@ -9,6 +9,8 @@ package gossipopt_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"gossipopt"
@@ -223,6 +225,40 @@ func BenchmarkApplyShards(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e.RunCycle()
 			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
+		})
+	}
+}
+
+// BenchmarkEngineMillion is the headline scale benchmark: the full
+// Newscast + optimizer stack at n = 10^6 nodes (tiny per-node swarms, so
+// the engine — arena walk, payload pooling, sharding — dominates rather
+// than the objective function). One op is one full cycle; allocs/op is the
+// whole-network allocation count per cycle, which the free lists and the
+// dense arena keep bounded (and CI guards against regressing — see
+// scripts/check_alloc_budget.sh). ENGINE_BENCH_NODES overrides n for
+// reduced-scale smoke runs.
+func BenchmarkEngineMillion(b *testing.B) {
+	n := 1_000_000
+	if s := os.Getenv("ENGINE_BENCH_NODES"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+			net := gossipopt.New(gossipopt.Config{
+				Nodes: n, Particles: 2, Dim: 2, GossipEvery: 2,
+				Function: gossipopt.Sphere, Seed: 1, Workers: w,
+			})
+			defer net.Engine().Close()
+			net.Step() // warm engine scratch and payload free lists
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step()
+			}
+			b.StopTimer()
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
 		})
 	}

@@ -27,7 +27,6 @@ import (
 	"gossipopt/internal/rng"
 	"gossipopt/internal/sim"
 	"gossipopt/internal/solver"
-	"gossipopt/internal/vec"
 )
 
 // Protocol slots used by the framework on every node.
@@ -39,7 +38,10 @@ const (
 )
 
 // BestPoint is the coordination service's payload: a position in the
-// search space and its fitness.
+// search space and its fitness. Wire payloads travel as pooled *BestPoint
+// (sim.Recyclable) so a million-node cycle does not allocate one position
+// snapshot per exchange; solvers copy on Inject, so recycling the buffer
+// at cycle end is safe.
 type BestPoint struct {
 	X []float64
 	F float64
@@ -47,6 +49,19 @@ type BestPoint struct {
 
 // Better reports whether b is strictly better (lower fitness) than o.
 func (b BestPoint) Better(o BestPoint) bool { return b.F < o.F }
+
+var (
+	bestPointPool      sim.FreeList[BestPoint]
+	bestPointReplyPool sim.FreeList[bestPointReply]
+)
+
+// Recycle implements sim.Recyclable. The position buffer is kept (len 0)
+// for reuse; senders must explicitly nil X when shipping a "no best yet"
+// point, since nil-ness is semantic on this payload.
+func (b *BestPoint) Recycle() {
+	b.X = b.X[:0]
+	bestPointPool.Put(b)
+}
 
 // OptNode is the per-node composition of the function optimization service
 // and the coordination service. It speaks the engine's two-phase exchange
@@ -110,17 +125,27 @@ func (o *OptNode) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	gx, gf := o.Solver.Best()
-	var x []float64
+	bp := bestPointPool.Get()
 	if gx != nil {
-		x = vec.Clone(gx) // solver-owned slice mutates; ship a snapshot
+		bp.X = append(bp.X[:0], gx...) // solver-owned slice mutates; ship a snapshot
+	} else {
+		bp.X = nil // "no best yet" is signalled by a nil position
 	}
-	px.Send(peerID, SlotOpt, BestPoint{X: x, F: gf})
+	bp.F = gf
+	px.Send(peerID, SlotOpt, bp)
 }
 
 // bestPointReply is the reply leg of the §3.3.3 exchange: the contacted
-// peer's better point, mailed back for the initiator to adopt.
+// peer's better point, mailed back for the initiator to adopt. Pooled like
+// the request leg.
 type bestPointReply struct {
 	P BestPoint
+}
+
+// Recycle implements sim.Recyclable.
+func (r *bestPointReply) Recycle() {
+	r.P.X = r.P.X[:0]
+	bestPointReplyPool.Put(r)
 }
 
 // Receive implements sim.Receiver, node-locally, completing the
@@ -129,23 +154,28 @@ type bestPointReply struct {
 // adopts it when the reply arrives. Both sides end with the better point.
 func (o *OptNode) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch bp := msg.Data.(type) {
-	case BestPoint:
+	case *BestPoint:
 		rx, rf := o.Solver.Best()
 		switch {
 		case bp.X == nil && rx == nil:
 			return
 		case rx == nil || (bp.X != nil && bp.F < rf):
-			// p's point wins: q adopts. bp.X was cloned at propose time and
-			// is delivered exactly once, so the solver may take ownership.
+			// p's point wins: q adopts. Solvers copy on Inject (they never
+			// retain the slice), which is what lets the pooled payload's
+			// buffer be recycled at cycle end.
 			if o.Solver.Inject(bp.X, bp.F) {
 				o.Adoptions++
 			}
 		case bp.X == nil || rf < bp.F:
-			// q's point wins: mail it back for p to adopt. Cloned because
-			// the solver keeps mutating its own best slice.
-			ax.Send(msg.From, msg.Slot, bestPointReply{P: BestPoint{X: vec.Clone(rx), F: rf}})
+			// q's point wins: mail it back for p to adopt. Snapshotted into
+			// the pooled reply because the solver keeps mutating its own
+			// best slice.
+			rep := bestPointReplyPool.Get()
+			rep.P.X = append(rep.P.X[:0], rx...)
+			rep.P.F = rf
+			ax.Send(msg.From, msg.Slot, rep)
 		}
-	case bestPointReply:
+	case *bestPointReply:
 		// Inject adopts only if still strictly better than whatever the
 		// initiator has meanwhile, so a stale reply cannot regress it.
 		if o.Solver.Inject(bp.P.X, bp.P.F) {
@@ -159,7 +189,7 @@ func (o *OptNode) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 // message-loss path). A lost reply leg is not a lost initiation and does
 // not count.
 func (o *OptNode) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
-	if _, initiated := msg.Data.(BestPoint); initiated {
+	if _, initiated := msg.Data.(*BestPoint); initiated {
 		o.LostExchanges++
 	}
 }

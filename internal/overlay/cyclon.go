@@ -25,6 +25,11 @@ type Cyclon struct {
 	// Exchanges counts initiated shuffles; FailedExchanges counts
 	// shuffles aimed at crashed peers.
 	Exchanges, FailedExchanges int64
+
+	// poolScratch holds the filtered candidate pool during appendSubset.
+	// Node-local (Propose and Receive run on the worker owning this node),
+	// so reusing it across calls is race-free.
+	poolScratch []Descriptor
 }
 
 // Compile-time guards for the two-phase contracts (see Newscast's note).
@@ -50,11 +55,7 @@ func (cy *Cyclon) View() *View { return cy.view }
 
 // SamplePeer implements PeerSampler.
 func (cy *Cyclon) SamplePeer(r *rng.RNG) (sim.NodeID, bool) {
-	ids := cy.view.IDs()
-	if len(ids) == 0 {
-		return 0, false
-	}
-	return ids[r.Intn(len(ids))], true
+	return cy.view.SampleID(r)
 }
 
 // Neighbors implements PeerSampler.
@@ -72,7 +73,7 @@ func (cy *Cyclon) Bootstrap(peers []sim.NodeID) {
 // oldest returns the stalest descriptor in the view (Cyclon always
 // shuffles with its oldest neighbor, which is what ages out dead nodes).
 func (cy *Cyclon) oldest() (Descriptor, bool) {
-	ds := cy.view.Descriptors()
+	ds := cy.view.items
 	if len(ds) == 0 {
 		return Descriptor{}, false
 	}
@@ -85,27 +86,31 @@ func (cy *Cyclon) oldest() (Descriptor, bool) {
 	return old, true
 }
 
-// subset picks up to l random descriptors from ds, excluding the one with
-// peer's ID (it is replaced by the fresh self-descriptor).
-func subset(r *rng.RNG, ds []Descriptor, l int, exclude sim.NodeID) []Descriptor {
-	var pool []Descriptor
-	for _, d := range ds {
+// appendSubset appends up to l random view descriptors (excluding the one
+// with the peer's ID — it is replaced by the fresh self-descriptor) onto
+// dst and returns the extended slice. The RNG draw pattern matches the
+// historical subset helper exactly: no draw when the filtered pool fits
+// in l, one Sample(len(pool), l) otherwise.
+func (cy *Cyclon) appendSubset(dst []Descriptor, r *rng.RNG, l int, exclude sim.NodeID) []Descriptor {
+	pool := cy.poolScratch[:0]
+	for _, d := range cy.view.items {
 		if d.ID != exclude {
 			pool = append(pool, d)
 		}
 	}
+	cy.poolScratch = pool
 	if len(pool) <= l {
-		return pool
+		return append(dst, pool...)
 	}
-	out := make([]Descriptor, 0, l)
 	for _, i := range r.Sample(len(pool), l) {
-		out = append(out, pool[i])
+		dst = append(dst, pool[i])
 	}
-	return out
+	return dst
 }
 
 // shuffleReq is Cyclon's proposed exchange: the initiator's shuffle subset
-// (L-1 random descriptors plus a fresh self-descriptor).
+// (L-1 random descriptors plus a fresh self-descriptor). Pooled via
+// sim.Recyclable, like Newscast's payloads.
 type shuffleReq struct {
 	Sent []Descriptor
 }
@@ -113,9 +118,30 @@ type shuffleReq struct {
 // shuffleRep is the answer leg: the partner's reply subset plus an echo of
 // what the initiator sent, so the initiator can do its own swap
 // bookkeeping node-locally (discard what it sent, merge what it got).
+// Echo aliases the request's Sent buffer — legal within the cycle, and
+// Recycle drops the alias instead of recycling it (the request's own
+// Recycle returns that buffer).
 type shuffleRep struct {
 	Reply []Descriptor
 	Echo  []Descriptor
+}
+
+var (
+	shuffleReqPool sim.FreeList[shuffleReq]
+	shuffleRepPool sim.FreeList[shuffleRep]
+)
+
+// Recycle implements sim.Recyclable.
+func (s *shuffleReq) Recycle() {
+	s.Sent = s.Sent[:0]
+	shuffleReqPool.Put(s)
+}
+
+// Recycle implements sim.Recyclable.
+func (s *shuffleRep) Recycle() {
+	s.Reply = s.Reply[:0]
+	s.Echo = nil // aliases the request's buffer; its Recycle owns it
+	shuffleRepPool.Put(s)
 }
 
 // Propose implements sim.Proposer: select the oldest neighbor and propose
@@ -128,9 +154,10 @@ func (cy *Cyclon) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	cy.Exchanges++
-	sent := subset(n.RNG, cy.view.Descriptors(), cy.L-1, target.ID)
-	sent = append(sent, Descriptor{ID: cy.self, Stamp: px.Cycle()})
-	px.Send(target.ID, cy.Slot, shuffleReq{Sent: sent})
+	req := shuffleReqPool.Get()
+	req.Sent = cy.appendSubset(req.Sent[:0], n.RNG, cy.L-1, target.ID)
+	req.Sent = append(req.Sent, Descriptor{ID: cy.self, Stamp: px.Cycle()})
+	px.Send(target.ID, cy.Slot, req)
 }
 
 // Receive implements sim.Receiver, node-locally. On the request leg the
@@ -142,14 +169,16 @@ func (cy *Cyclon) Propose(n *sim.Node, px *sim.Proposals) {
 // reply subset.
 func (cy *Cyclon) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch req := msg.Data.(type) {
-	case shuffleReq:
-		reply := subset(n.RNG, cy.view.Descriptors(), cy.L, msg.From)
-		for _, d := range reply {
+	case *shuffleReq:
+		rep := shuffleRepPool.Get()
+		rep.Reply = cy.appendSubset(rep.Reply[:0], n.RNG, cy.L, msg.From)
+		for _, d := range rep.Reply {
 			cy.view.Remove(d.ID)
 		}
 		cy.view.Merge(cy.self, req.Sent)
-		ax.Send(msg.From, cy.Slot, shuffleRep{Reply: reply, Echo: req.Sent})
-	case shuffleRep:
+		rep.Echo = req.Sent
+		ax.Send(msg.From, cy.Slot, rep)
+	case *shuffleRep:
 		cy.view.Remove(msg.From)
 		for _, d := range req.Echo {
 			if d.ID != cy.self {
@@ -165,7 +194,7 @@ func (cy *Cyclon) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 // dead reply leg (one-way partition) also flushes the unreachable peer,
 // but only a failed initiation counts as a FailedExchange.
 func (cy *Cyclon) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
-	if _, initiated := msg.Data.(shuffleReq); initiated {
+	if _, initiated := msg.Data.(*shuffleReq); initiated {
 		cy.FailedExchanges++
 	}
 	cy.view.Remove(msg.To)

@@ -61,13 +61,11 @@ func NewNewscast(self sim.NodeID, c, slot int) *Newscast {
 // graph analysis).
 func (nc *Newscast) View() *View { return nc.view }
 
-// SamplePeer implements PeerSampler by uniform choice over the view.
+// SamplePeer implements PeerSampler by uniform choice over the view. On
+// the propose hot path, so it draws straight from the view instead of
+// materializing an ID slice per call.
 func (nc *Newscast) SamplePeer(r *rng.RNG) (sim.NodeID, bool) {
-	if nc.view.Len() == 0 {
-		return 0, false
-	}
-	ids := nc.view.IDs()
-	return ids[r.Intn(len(ids))], true
+	return nc.view.SampleID(r)
 }
 
 // Neighbors implements PeerSampler.
@@ -84,6 +82,9 @@ func (nc *Newscast) Bootstrap(peers []sim.NodeID) {
 
 // viewSwap is Newscast's proposed exchange: the initiator's view snapshot
 // plus the logical time of the cycle, delivered to the chosen partner.
+// Payloads are pooled (sim.Recyclable): a cycle at large n creates one
+// snapshot per live node, so recycling the descriptor buffers removes the
+// dominant per-cycle allocation.
 type viewSwap struct {
 	Descs []Descriptor
 	Stamp int64
@@ -96,6 +97,23 @@ type viewSwapReply struct {
 	Descs []Descriptor
 }
 
+var (
+	viewSwapPool      sim.FreeList[viewSwap]
+	viewSwapReplyPool sim.FreeList[viewSwapReply]
+)
+
+// Recycle implements sim.Recyclable.
+func (s *viewSwap) Recycle() {
+	s.Descs = s.Descs[:0]
+	viewSwapPool.Put(s)
+}
+
+// Recycle implements sim.Recyclable.
+func (s *viewSwapReply) Recycle() {
+	s.Descs = s.Descs[:0]
+	viewSwapReplyPool.Put(s)
+}
+
 // Propose implements sim.Proposer: pick a partner from the node's own view
 // and propose a symmetric view exchange. Only the node's own state is
 // touched — the swap itself happens in Receive during the apply phase.
@@ -105,7 +123,10 @@ func (nc *Newscast) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	nc.Exchanges++
-	px.Send(peerID, nc.Slot, viewSwap{Descs: nc.view.Descriptors(), Stamp: px.Cycle()})
+	sw := viewSwapPool.Get()
+	sw.Descs = nc.view.AppendDescriptors(sw.Descs[:0])
+	sw.Stamp = px.Cycle()
+	px.Send(peerID, nc.Slot, sw)
 }
 
 // Receive implements sim.Receiver, node-locally. On the initiating leg the
@@ -115,13 +136,21 @@ func (nc *Newscast) Propose(n *sim.Node, px *sim.Proposals) {
 // with each leg crossing the network (and the delivery filter) on its own.
 func (nc *Newscast) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch sw := msg.Data.(type) {
-	case viewSwap:
-		mine := nc.view.Descriptors()
+	case *viewSwap:
 		myDesc := Descriptor{ID: nc.self, Stamp: sw.Stamp}
 		peerDesc := Descriptor{ID: msg.From, Stamp: sw.Stamp}
-		nc.view.Merge(nc.self, append(append(sw.Descs, peerDesc), myDesc))
-		ax.Send(msg.From, nc.Slot, viewSwapReply{Descs: append(append(mine, myDesc), peerDesc)})
-	case viewSwapReply:
+		// Snapshot the pre-merge view into the pooled reply, then extend
+		// the received (owned, pooled) snapshot in place for the merge —
+		// the same merge input and reply contents as the historical
+		// fresh-slice construction, with both buffers recycled at cycle
+		// end.
+		rep := viewSwapReplyPool.Get()
+		rep.Descs = nc.view.AppendDescriptors(rep.Descs[:0])
+		rep.Descs = append(rep.Descs, myDesc, peerDesc)
+		sw.Descs = append(sw.Descs, peerDesc, myDesc)
+		nc.view.Merge(nc.self, sw.Descs)
+		ax.Send(msg.From, nc.Slot, rep)
+	case *viewSwapReply:
 		nc.view.Merge(nc.self, sw.Descs)
 	}
 }
@@ -131,7 +160,7 @@ func (nc *Newscast) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) 
 // unreachable descriptor locally so repeated failures do not pin the view;
 // only a failed initiation counts as a FailedExchange.
 func (nc *Newscast) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
-	if _, initiated := msg.Data.(viewSwap); initiated {
+	if _, initiated := msg.Data.(*viewSwap); initiated {
 		nc.FailedExchanges++
 	}
 	nc.view.Remove(msg.To)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package overlay
+
+// raceEnabled reports whether the race detector is active (build-tag
+// selected); see race_enabled_test.go.
+const raceEnabled = false

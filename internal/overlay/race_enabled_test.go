@@ -1,0 +1,9 @@
+//go:build race
+
+package overlay
+
+// raceEnabled reports whether the race detector is active (build-tag
+// selected). Allocation-budget tests skip under it: the race runtime makes
+// sync.Pool deliberately drop cached items to expose reuse races, so pooled
+// payloads reallocate and the budgets do not hold.
+const raceEnabled = true

@@ -1,7 +1,8 @@
 package overlay
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"gossipopt/internal/rng"
 	"gossipopt/internal/sim"
@@ -52,10 +53,24 @@ type TMan struct {
 	// that died in transit (dead peer or network partition).
 	Exchanges int64
 	Lost      int64
+
+	// merge scratch, reused across calls: merge runs at least twice per
+	// node per cycle (random injection + exchange), so per-call map and
+	// slice allocations would dominate the protocol's cost.
+	mergeScratch []tmanRanked
+	mergeSeen    map[sim.NodeID]bool
+}
+
+// tmanRanked is a candidate neighbor with its precomputed distance
+// (merge scratch element).
+type tmanRanked struct {
+	id sim.NodeID
+	d  float64
 }
 
 // tmanSwap is the proposed exchange: the initiator's view snapshot plus
-// its own descriptor, delivered to the closest known neighbor.
+// its own descriptor, delivered to the closest known neighbor. Pooled via
+// sim.Recyclable, like the peer-sampling payloads.
 type tmanSwap struct {
 	Peers []sim.NodeID
 }
@@ -64,6 +79,23 @@ type tmanSwap struct {
 // own descriptor, mailed back to the initiator in the next apply round.
 type tmanReply struct {
 	Peers []sim.NodeID
+}
+
+var (
+	tmanSwapPool  sim.FreeList[tmanSwap]
+	tmanReplyPool sim.FreeList[tmanReply]
+)
+
+// Recycle implements sim.Recyclable.
+func (s *tmanSwap) Recycle() {
+	s.Peers = s.Peers[:0]
+	tmanSwapPool.Put(s)
+}
+
+// Recycle implements sim.Recyclable.
+func (s *tmanReply) Recycle() {
+	s.Peers = s.Peers[:0]
+	tmanReplyPool.Put(s)
 }
 
 // Compile-time guards: sim.Protocol is untyped, so assert the two-phase
@@ -105,27 +137,31 @@ func (t *TMan) Tombstoned(id sim.NodeID) bool { return t.dead[id] }
 // the sort comparator, which would re-evaluate Distance O(k log k) times
 // per merge on the protocol's hot path — see BenchmarkTManMerge).
 func (t *TMan) merge(candidates []sim.NodeID) {
-	type ranked struct {
-		id sim.NodeID
-		d  float64
+	if t.mergeSeen == nil {
+		t.mergeSeen = make(map[sim.NodeID]bool, 2*t.C)
 	}
-	seen := map[sim.NodeID]bool{t.self: true}
-	all := make([]ranked, 0, len(t.peers)+len(candidates))
+	clear(t.mergeSeen)
+	seen := t.mergeSeen
+	seen[t.self] = true
+	all := t.mergeScratch[:0]
 	rank := func(ids []sim.NodeID) {
 		for _, id := range ids {
 			if !seen[id] && !t.dead[id] {
 				seen[id] = true
-				all = append(all, ranked{id: id, d: t.Distance(t.self, id)})
+				all = append(all, tmanRanked{id: id, d: t.Distance(t.self, id)})
 			}
 		}
 	}
 	rank(t.peers)
 	rank(candidates)
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].d != all[j].d {
-			return all[i].d < all[j].d
+	t.mergeScratch = all
+	// seen guarantees distinct ids, so the (distance, id) comparator is a
+	// total order and the non-allocating sort is algorithm-independent.
+	slices.SortFunc(all, func(a, b tmanRanked) int {
+		if a.d != b.d {
+			return cmp.Compare(a.d, b.d)
 		}
-		return all[i].id < all[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	if len(all) > t.C {
 		all = all[:t.C]
@@ -171,7 +207,9 @@ func (t *TMan) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	t.Exchanges++
-	px.Send(target, t.Slot, tmanSwap{Peers: append(t.Neighbors(), t.self)})
+	sw := tmanSwapPool.Get()
+	sw.Peers = append(append(sw.Peers[:0], t.peers...), t.self)
+	px.Send(target, t.Slot, sw)
 }
 
 // Receive implements sim.Receiver, node-locally. On the initiating leg the
@@ -182,16 +220,19 @@ func (t *TMan) Propose(n *sim.Node, px *sim.Proposals) {
 // on its own.
 func (t *TMan) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch sw := msg.Data.(type) {
-	case tmanSwap:
+	case *tmanSwap:
 		// A message from a tombstoned peer is proof of life: the crash was
 		// confirmed once, but the node has since restarted (scripted
 		// revive). Direct contact — and only direct contact, never a
 		// third-party merge — clears the tombstone.
 		delete(t.dead, msg.From)
-		mine := append(t.Neighbors(), t.self)
+		// Snapshot the pre-merge view into the pooled reply before merge
+		// mutates t.peers.
+		rep := tmanReplyPool.Get()
+		rep.Peers = append(append(rep.Peers[:0], t.peers...), t.self)
 		t.merge(sw.Peers)
-		ax.Send(msg.From, t.Slot, tmanReply{Peers: mine})
-	case tmanReply:
+		ax.Send(msg.From, t.Slot, rep)
+	case *tmanReply:
 		delete(t.dead, msg.From)
 		t.merge(sw.Peers)
 	}
@@ -205,7 +246,7 @@ func (t *TMan) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 // through merges or random injection once the partition heals. Only a
 // failed initiation counts toward Lost.
 func (t *TMan) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
-	if _, initiated := msg.Data.(tmanSwap); initiated {
+	if _, initiated := msg.Data.(*tmanSwap); initiated {
 		t.Lost++
 	}
 	t.remove(msg.To)

@@ -7,8 +7,10 @@
 package overlay
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
+	"gossipopt/internal/rng"
 	"gossipopt/internal/sim"
 )
 
@@ -57,6 +59,23 @@ func (v *View) Descriptors() []Descriptor {
 	return append([]Descriptor(nil), v.items...)
 }
 
+// AppendDescriptors appends the view contents, freshest first, onto buf
+// and returns the extended slice — the allocation-free variant of
+// Descriptors for per-cycle snapshots into recycled payload buffers.
+func (v *View) AppendDescriptors(buf []Descriptor) []Descriptor {
+	return append(buf, v.items...)
+}
+
+// SampleID returns a uniformly random ID from the view without
+// materializing the ID slice (ok is false when the view is empty). The
+// draw is identical to indexing IDs(): one Intn over the view length.
+func (v *View) SampleID(r *rng.RNG) (sim.NodeID, bool) {
+	if len(v.items) == 0 {
+		return 0, false
+	}
+	return v.items[r.Intn(len(v.items))].ID, true
+}
+
 // Contains reports whether the view holds a descriptor for id.
 func (v *View) Contains(id sim.NodeID) bool {
 	for _, d := range v.items {
@@ -98,17 +117,20 @@ func (v *View) Merge(self sim.NodeID, batch []Descriptor) {
 	}
 	// Sort freshest first; after sorting, the first occurrence of each ID
 	// is its freshest descriptor, so a single keep-first pass both
-	// deduplicates and selects the Cap freshest.
-	sort.Slice(v.scratch, func(i, j int) bool {
-		a, b := v.scratch[i], v.scratch[j]
+	// deduplicates and selects the Cap freshest. The comparator is total
+	// on distinct descriptors (equal keys mean identical values), so the
+	// sorted output — and with it the merge result — is independent of the
+	// sort algorithm. slices.SortFunc, unlike sort.Slice, does not allocate
+	// (Merge runs twice per node per cycle; the reflection-based closure
+	// was the last steady-state allocation on the Newscast hot path).
+	slices.SortFunc(v.scratch, func(a, b Descriptor) int {
 		if a.Stamp != b.Stamp {
-			return a.Stamp > b.Stamp
+			return cmp.Compare(b.Stamp, a.Stamp)
 		}
-		ha, hb := mix(a), mix(b)
-		if ha != hb {
-			return ha < hb
+		if ha, hb := mix(a), mix(b); ha != hb {
+			return cmp.Compare(ha, hb)
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if v.seen == nil {
 		v.seen = make(map[sim.NodeID]struct{}, 2*v.c)

@@ -278,9 +278,10 @@ func runCycleRep(s Spec, seed uint64, rep int, opts Options, sink exp.Sink) (Rep
 	var lastEmit int64 = -1
 	var sum RepSummary
 	var c int64
+	var evScratch []*sim.Node // reused across scripted events (crash/revive scans)
 	for c = 0; c < s.Stop.Cycles; c++ {
 		for ei < len(s.Timeline) && int64(s.Timeline[ei].At) <= c {
-			applyCycleEvent(eng, s.Timeline[ei])
+			applyCycleEvent(eng, s.Timeline[ei], &evScratch)
 			ei++
 		}
 		eng.RunCycle()
@@ -343,11 +344,14 @@ func gossipEvery(r int) int {
 
 // applyCycleEvent fires one scripted event on the cycle engine, before the
 // cycle it names runs. All random choices draw from the engine RNG on the
-// coordinator goroutine, so scripted runs stay worker-invariant.
-func applyCycleEvent(eng *sim.Engine, ev Event) {
+// coordinator goroutine, so scripted runs stay worker-invariant. scratch is
+// the caller's reusable node buffer: event scans snapshot into it instead
+// of allocating a fresh slice per scripted event.
+func applyCycleEvent(eng *sim.Engine, ev Event, scratch *[]*sim.Node) {
 	switch ev.Action {
 	case "crash":
-		live := eng.LiveNodes()
+		live := eng.AppendLiveNodes((*scratch)[:0])
+		*scratch = live
 		kill := eventCount(ev, len(live))
 		perm := eng.RNG().Perm(len(live))
 		for i := 0; i < kill && i < len(perm); i++ {
@@ -359,7 +363,9 @@ func applyCycleEvent(eng *sim.Engine, ev Event) {
 		}
 	case "revive":
 		left := ev.Count
-		for _, n := range eng.AllNodes() {
+		all := eng.AppendAllNodes((*scratch)[:0])
+		*scratch = all
+		for _, n := range all {
 			if left == 0 {
 				break
 			}
@@ -448,6 +454,7 @@ func runEventRep(s Spec, seed uint64, rep int, sink exp.Sink) (RepSummary, error
 	nextSample := s.MetricsEvery
 	var sum RepSummary
 	now := 0.0
+	var evScratch []*sim.Node // reused across scripted events (crash scans)
 	for {
 		// The next breakpoint: scripted event, metric sample, or horizon.
 		next := horizon
@@ -468,7 +475,7 @@ func runEventRep(s Spec, seed uint64, rep int, sink exp.Sink) (RepSummary, error
 		eng.AdvanceTo(next)
 		now = next
 		if hasEvent {
-			applyEventEvent(net, eng, s.Timeline[ei], s.Stack.Link)
+			applyEventEvent(net, eng, s.Timeline[ei], s.Stack.Link, &evScratch)
 			ei++
 		}
 		if isSample {
@@ -510,10 +517,11 @@ func toUniformLink(l *Link) sim.UniformLink {
 // is the spec's initial link model: a set-link without an explicit link
 // restores it (ending a storm means back to normal, not back to a perfect
 // network).
-func applyEventEvent(net *core.AsyncNetwork, eng *sim.EventEngine, ev Event, baseline *Link) {
+func applyEventEvent(net *core.AsyncNetwork, eng *sim.EventEngine, ev Event, baseline *Link, scratch *[]*sim.Node) {
 	switch ev.Action {
 	case "crash":
-		live := eng.LiveNodes()
+		live := eng.AppendLiveNodes((*scratch)[:0])
+		*scratch = live
 		kill := eventCount(ev, len(live))
 		perm := eng.RNG().Perm(len(live))
 		for i := 0; i < kill && i < len(perm); i++ {

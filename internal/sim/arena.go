@@ -1,0 +1,49 @@
+package sim
+
+// The dense node arena. NodeIDs are monotonic and never reused, so nodes
+// can live in a slice indexed by ID instead of a map: an ID lookup is two
+// array indexings, and walking the population in ID order is a linear scan
+// with no hashing and no separate order slice. The arena is chunked so
+// that growing it never moves existing nodes — callers throughout the
+// codebase hold *Node pointers across joins (protocol views, churn models,
+// apply jobs), which a flat append-grown slice would invalidate.
+
+const (
+	arenaChunkShift = 12
+	arenaChunkSize  = 1 << arenaChunkShift
+	arenaChunkMask  = arenaChunkSize - 1
+)
+
+// nodeArena stores every node ever created, dead or alive, densely indexed
+// by NodeID. Chunks are allocated at full capacity and only ever appended
+// to, so a *Node stays valid for the arena's lifetime.
+type nodeArena struct {
+	chunks [][]Node
+	n      NodeID // next ID == number of nodes ever allocated
+}
+
+// len returns the number of nodes ever allocated.
+func (a *nodeArena) len() int { return int(a.n) }
+
+// alloc appends a fresh node with the next ID and returns its pointer.
+// Everything but the ID is zero; the caller wires RNG, liveness and the
+// protocol stack.
+func (a *nodeArena) alloc() *Node {
+	id := a.n
+	a.n++
+	ci := int(id >> arenaChunkShift)
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Node, 0, arenaChunkSize))
+	}
+	c := &a.chunks[ci]
+	*c = append(*c, Node{ID: id})
+	return &(*c)[len(*c)-1]
+}
+
+// at returns the node with the given ID, or nil when no such node exists.
+func (a *nodeArena) at(id NodeID) *Node {
+	if id < 0 || id >= a.n {
+		return nil
+	}
+	return &a.chunks[id>>arenaChunkShift][id&arenaChunkMask]
+}

@@ -26,12 +26,17 @@ type RateChurn struct {
 	MinLive      int
 
 	joinAccum float64
+	scratch   []*Node
 }
 
 // Apply implements ChurnModel.
 func (c *RateChurn) Apply(e *Engine) {
 	if c.CrashProb > 0 {
-		for _, n := range e.LiveNodes() {
+		// Snapshot into the model's scratch: Apply runs every cycle, so a
+		// fresh LiveNodes slice here would be a per-cycle O(n) allocation
+		// (and the snapshot must be stable while Crash dirties the index).
+		c.scratch = e.AppendLiveNodes(c.scratch[:0])
+		for _, n := range c.scratch {
 			if c.MinLive > 0 && e.LiveCount() <= c.MinLive {
 				break
 			}
@@ -81,8 +86,9 @@ type SessionChurn struct {
 	MeanSession  float64
 	MeanDowntime float64
 
-	deaths map[NodeID]int64 // cycle at which the node crashes
-	joins  []int64          // cycles at which replacement nodes join
+	deaths  map[NodeID]int64 // cycle at which the node crashes
+	joins   []int64          // cycles at which replacement nodes join
+	scratch []*Node
 }
 
 // Apply implements ChurnModel.
@@ -91,8 +97,10 @@ func (c *SessionChurn) Apply(e *Engine) {
 		c.deaths = make(map[NodeID]int64)
 	}
 	now := e.Cycle()
-	// Schedule sessions for nodes we have not seen yet.
-	for _, n := range e.LiveNodes() {
+	// Schedule sessions for nodes we have not seen yet (scratch snapshot:
+	// this scan runs every cycle).
+	c.scratch = e.AppendLiveNodes(c.scratch[:0])
+	for _, n := range c.scratch {
 		if _, ok := c.deaths[n.ID]; !ok {
 			life := int64(e.rng.ExpFloat64()*c.MeanSession) + 1
 			c.deaths[n.ID] = now + life

@@ -87,15 +87,16 @@ func (l UniformLink) Drop(r *rng.RNG, _, _ NodeID) bool { return r.Bool(l.LossPr
 
 // EventEngine is the event-driven simulation engine.
 type EventEngine struct {
-	rng     *rng.RNG
-	nodes   map[NodeID]*Node
-	handler map[NodeID]Handler
-	nextID  NodeID
-	now     float64
-	seq     uint64
-	queue   eventHeap
-	link    LinkModel
-	filter  DeliveryFilter
+	rng *rng.RNG
+	// arena stores the nodes densely by ID (same layout as the cycle
+	// engine); handlers is the parallel dense slice of per-node handlers.
+	arena    nodeArena
+	handlers []Handler
+	now      float64
+	seq      uint64
+	queue    eventHeap
+	link     LinkModel
+	filter   DeliveryFilter
 
 	delivered, dropped int64
 }
@@ -107,10 +108,8 @@ func NewEventEngine(seed uint64, link LinkModel) *EventEngine {
 		link = UniformLink{}
 	}
 	return &EventEngine{
-		rng:     rng.New(seed),
-		nodes:   make(map[NodeID]*Node),
-		handler: make(map[NodeID]Handler),
-		link:    link,
+		rng:  rng.New(seed),
+		link: link,
 	}
 }
 
@@ -140,21 +139,21 @@ func (e *EventEngine) Dropped() int64 { return e.dropped }
 
 // AddNode creates a live node whose messages are processed by h.
 func (e *EventEngine) AddNode(h Handler) *Node {
-	n := &Node{ID: e.nextID, Alive: true, RNG: e.rng.Split()}
-	e.nextID++
-	e.nodes[n.ID] = n
-	e.handler[n.ID] = h
+	n := e.arena.alloc()
+	n.Alive = true
+	n.RNG = e.rng.Split()
+	e.handlers = append(e.handlers, h)
 	return n
 }
 
 // Node returns the node with the given ID, or nil.
-func (e *EventEngine) Node(id NodeID) *Node { return e.nodes[id] }
+func (e *EventEngine) Node(id NodeID) *Node { return e.arena.at(id) }
 
 // Crash marks a node dead; queued messages to it will be dropped on
 // delivery, exactly like a real crashed host. That includes its own
 // pending timers, so a later Revive must re-arm any periodic behaviour.
 func (e *EventEngine) Crash(id NodeID) {
-	if n := e.nodes[id]; n != nil {
+	if n := e.arena.at(id); n != nil {
 		n.Alive = false
 	}
 }
@@ -163,7 +162,7 @@ func (e *EventEngine) Crash(id NodeID) {
 // timers died with it — callers model the restart by scheduling fresh
 // ones with SendAfter.
 func (e *EventEngine) Revive(id NodeID) {
-	if n := e.nodes[id]; n != nil {
+	if n := e.arena.at(id); n != nil {
 		n.Alive = true
 	}
 }
@@ -187,13 +186,21 @@ func (e *EventEngine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
 
 // LiveNodes returns all live nodes in ID order.
 func (e *EventEngine) LiveNodes() []*Node {
-	out := make([]*Node, 0, len(e.nodes))
-	for id := NodeID(0); id < e.nextID; id++ {
-		if n := e.nodes[id]; n != nil && n.Alive {
-			out = append(out, n)
+	return e.AppendLiveNodes(make([]*Node, 0, e.arena.len()))
+}
+
+// AppendLiveNodes appends all live nodes in ID order onto buf and returns
+// the extended slice — the scratch-reusing variant for repeated scans.
+func (e *EventEngine) AppendLiveNodes(buf []*Node) []*Node {
+	for ci := range e.arena.chunks {
+		c := e.arena.chunks[ci]
+		for i := range c {
+			if c[i].Alive {
+				buf = append(buf, &c[i])
+			}
 		}
 	}
-	return out
+	return buf
 }
 
 // Send queues msg from src to dst, subject to the link model.
@@ -225,12 +232,12 @@ func (e *EventEngine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(event)
 	e.now = ev.at
-	n := e.nodes[ev.to]
+	n := e.arena.at(ev.to)
 	if n == nil || !n.Alive || e.filter.blocked(ev.from, ev.to) {
 		e.dropped++
 		return true
 	}
-	if h := e.handler[ev.to]; h != nil {
+	if h := e.handlers[ev.to]; h != nil {
 		e.delivered++
 		h.Deliver(n, ev.msg, e)
 	}

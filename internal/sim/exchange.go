@@ -54,7 +54,10 @@ type Message struct {
 	// failure must be reported back.
 	Slot int
 	// Data is the protocol-specific payload. Ownership transfers to the
-	// receiver: proposers must not retain or mutate it after Send.
+	// receiver: proposers must not retain or mutate it after Send. A
+	// payload implementing Recyclable returns to its free list when the
+	// cycle ends (see freelist.go for the full ownership rules), so
+	// handlers must not retain it — or slices inside it — across cycles.
 	Data any
 }
 
@@ -177,7 +180,7 @@ func (ax *ApplyContext) Send(to NodeID, slot int, data any) {
 // it in Undelivered to distinguish a confirmed crash (tombstone) from an
 // unreachable, partitioned peer (re-adopted after the heal).
 func (ax *ApplyContext) Alive(id NodeID) bool {
-	n := ax.engine.nodes[id]
+	n := ax.engine.arena.at(id)
 	return n != nil && n.Alive
 }
 

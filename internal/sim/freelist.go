@@ -1,0 +1,70 @@
+package sim
+
+import "sync"
+
+// Payload recycling. A cycle at n = 10^6 creates on the order of n message
+// payloads (view snapshots, best-point exchanges); allocating them fresh
+// every cycle makes memory traffic, not parallelism, the throughput
+// ceiling. Protocols therefore opt in to recycling: they draw payloads
+// from a typed FreeList and implement Recyclable, and the engine returns
+// every recyclable payload to its list at the end of the cycle — in
+// releaseApplyScratch, the one place a cycle's payload references already
+// died.
+//
+// The ownership rules extend the "ownership transfers on Send" contract of
+// exchange.go:
+//
+//   - A recyclable payload must be sent exactly once. Sending the same
+//     pointer twice (or never) double-recycles (or leaks) it.
+//   - The receiving handler owns the payload only until its cycle ends. It
+//     must not retain the pointer — or any slice inside it — beyond the
+//     handler call, except by forwarding a slice inside a *different*
+//     payload sent in the same cycle (Cyclon echoes the request subset in
+//     its reply; the reply's Recycle must then drop the alias, never
+//     recycle it).
+//   - Recycle must reset slice fields to length zero (keeping capacity —
+//     that reuse is the whole point) and nil out aliases it does not own.
+//
+// The engine recycles on the coordinator; Get runs on parallel propose and
+// apply workers, which is why the free list wraps sync.Pool rather than a
+// plain slice.
+
+// Recyclable is the opt-in recycling contract for message payloads. The
+// engine calls Recycle exactly once per sent payload, at the end of the
+// cycle that delivered (or dropped) it, after every handler has run.
+type Recyclable interface {
+	Recycle()
+}
+
+// FreeList is a typed free list of payload structs, safe for concurrent
+// use. The zero value is ready to use.
+type FreeList[T any] struct {
+	pool sync.Pool
+}
+
+// Get returns a recycled *T, or a freshly allocated zero value when the
+// list is empty. Recycled values keep whatever the type's Recycle method
+// left in them (by convention: zero-length slices with warm capacity).
+func (f *FreeList[T]) Get() *T {
+	if v := f.pool.Get(); v != nil {
+		return v.(*T)
+	}
+	return new(T)
+}
+
+// Put returns p to the free list. Callers normally do not call Put
+// directly: the payload's Recycle method does, and the engine calls
+// Recycle at cycle end.
+func (f *FreeList[T]) Put(p *T) {
+	if p != nil {
+		f.pool.Put(p)
+	}
+}
+
+// recyclePayload returns a message's payload to its free list when the
+// payload opted in.
+func recyclePayload(m *Message) {
+	if r, ok := m.Data.(Recyclable); ok {
+		r.Recycle()
+	}
+}

@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// starProto is a deliberately skewed ("hotspot") workload: every node
+// pings the hub (node 0) each cycle, and the hub answers each ping with a
+// pong in the follow-up round. Under ID-mod sharding the hub's entire
+// apply load lands on one worker; balanced sharding must spread the other
+// shards while producing the exact same trace.
+type starProto struct {
+	hub NodeID
+
+	// Per-node delivery traces (the byte-identical contract's witness).
+	fromOrder []NodeID
+	pongs     int
+	failed    int
+}
+
+func (p *starProto) Propose(n *Node, px *Proposals) {
+	if n.ID != p.hub {
+		px.Send(p.hub, 0, "ping")
+	}
+}
+
+func (p *starProto) Receive(n *Node, ax *ApplyContext, msg Message) {
+	switch msg.Data {
+	case "ping":
+		p.fromOrder = append(p.fromOrder, msg.From)
+		ax.Send(msg.From, 0, "pong")
+	case "pong":
+		p.pongs++
+		p.fromOrder = append(p.fromOrder, msg.From)
+	}
+}
+
+func (p *starProto) Undelivered(n *Node, ax *ApplyContext, msg Message) { p.failed++ }
+
+func buildStar(seed uint64, n, workers, applyWorkers int, idMod bool) (*Engine, []*starProto) {
+	e := NewEngine(seed)
+	e.SetWorkers(workers)
+	if applyWorkers > 0 {
+		e.SetApplyWorkers(applyWorkers)
+	}
+	e.idModSharding = idMod
+	protos := make([]*starProto, 0, n)
+	e.SetNodeFactory(func(nd *Node) {
+		p := &starProto{hub: 0}
+		protos = append(protos, p)
+		nd.Protocols = []Protocol{p}
+	})
+	e.AddNodes(n)
+	return e, protos
+}
+
+// TestShardingHotspotGridInvariant pins the determinism contract on the
+// worst case for load balancing: a star workload where one node receives
+// nearly every message. The per-node delivery traces must be identical for
+// ID-mod and balanced sharding across every (propose × apply) worker grid
+// — balancing may only move work between workers, never reorder it.
+func TestShardingHotspotGridInvariant(t *testing.T) {
+	const n, cycles = 96, 12
+	trace := func(workers, applyWorkers int, idMod bool) [][]NodeID {
+		e, protos := buildStar(11, n, workers, applyWorkers, idMod)
+		defer e.Close()
+		e.SetChurn(&RateChurn{CrashProb: 0.03, JoinPerCycle: 0.5, MinLive: 8})
+		e.Run(cycles)
+		out := make([][]NodeID, len(protos))
+		for i, p := range protos {
+			out[i] = p.fromOrder
+		}
+		return out
+	}
+	want := trace(1, 1, true) // historical configuration
+	for _, w := range []int{1, 2, 8} {
+		for _, aw := range []int{1, 2, 8} {
+			for _, idMod := range []bool{false, true} {
+				got := trace(w, aw, idMod)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d/%d idMod=%v: %d nodes, want %d", w, aw, idMod, len(got), len(want))
+				}
+				for i := range want {
+					if len(got[i]) != len(want[i]) {
+						t.Fatalf("workers=%d/%d idMod=%v node %d: %d deliveries, want %d",
+							w, aw, idMod, i, len(got[i]), len(want[i]))
+					}
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("workers=%d/%d idMod=%v node %d delivery %d: from %d, want %d",
+								w, aw, idMod, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBalancedShardingSpreadsHotspots demonstrates the scheduling win
+// directly (machine-independent, unlike wall-clock): several hot nodes
+// sharing an ID residue class pile onto one worker under ID-mod sharding,
+// while the greedy bin-pack spreads them. The per-worker job loads are
+// measured straight off shardRound's buckets.
+func TestBalancedShardingSpreadsHotspots(t *testing.T) {
+	const n, workers, hot = 64, 8, 100
+	e := NewEngine(1)
+	defer e.Close()
+	e.AddNodes(n)
+
+	// Hubs 0, 8, 16, 24 share residue 0 mod 8: each gets `hot` messages;
+	// every other node gets one.
+	var round []Message
+	for _, hub := range []NodeID{0, 8, 16, 24} {
+		for i := 0; i < hot; i++ {
+			round = append(round, Message{From: NodeID(i % n), To: hub})
+		}
+	}
+	for id := NodeID(0); id < n; id++ {
+		round = append(round, Message{From: 0, To: id})
+	}
+
+	maxLoad := func(idMod bool) int {
+		e.idModSharding = idMod
+		if cap(e.applyCtxs) < workers {
+			e.applyCtxs = make([]ApplyContext, workers)
+			e.applyBuckets = make([][]applyJob, workers)
+		}
+		e.shardRound(round, workers)
+		m := 0
+		total := 0
+		for _, b := range e.applyBuckets[:workers] {
+			total += len(b)
+			if len(b) > m {
+				m = len(b)
+			}
+		}
+		if total != len(round) {
+			t.Fatalf("idMod=%v: %d jobs bucketed, want %d", idMod, total, len(round))
+		}
+		return m
+	}
+
+	idMod := maxLoad(true)
+	balanced := maxLoad(false)
+	// ID-mod: all four hubs (plus the 8 residue-0 singles) land on worker 0
+	// — 4*hot + 8 jobs. Balanced: one hub per worker plus spread singles,
+	// so the critical path is near hot + a few.
+	if idMod < 4*hot {
+		t.Fatalf("idmod max load = %d, expected the 4 aliased hubs (>= %d) on one worker", idMod, 4*hot)
+	}
+	if balanced > 2*hot {
+		t.Fatalf("balanced max load = %d, want <= %d (hubs spread across workers)", balanced, 2*hot)
+	}
+}
+
+// BenchmarkRandomLiveNode is the satellite regression guard for the dense
+// live index: one uniform draw over the live population, zero allocations,
+// no O(n) scan per call (the rebuild is amortized over Crash/Revive, not
+// paid per draw).
+func BenchmarkRandomLiveNode(b *testing.B) {
+	e := NewEngine(1)
+	defer e.Close()
+	e.AddNodes(100_000)
+	// Kill a stripe so the exclude-shift and liveness machinery is real.
+	for id := NodeID(0); id < 100_000; id += 10 {
+		e.Crash(id)
+	}
+	if e.RandomLiveNode(-1) == nil {
+		b.Fatal("no live nodes")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.RandomLiveNode(NodeID(i%100_000)) == nil {
+			b.Fatal("draw failed")
+		}
+	}
+}
+
+// BenchmarkApplyShardsHotspot compares balanced vs ID-mod sharding on the
+// star workload at 8 apply workers, where ID-mod serializes the hub's
+// entire load onto one worker. node-cycles/s is the cross-run comparable
+// throughput metric (population × cycles / wall time).
+func BenchmarkApplyShardsHotspot(b *testing.B) {
+	const n = 10_000
+	for _, mode := range []struct {
+		name  string
+		idMod bool
+	}{{"balanced", false}, {"idmod", true}} {
+		b.Run(fmt.Sprintf("sharding=%s", mode.name), func(b *testing.B) {
+			e, _ := buildStar(7, n, 8, 8, mode.idMod)
+			defer e.Close()
+			e.Run(2) // warm scratch buffers and pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.RunCycle()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
+		})
+	}
+}

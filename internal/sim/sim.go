@@ -53,6 +53,8 @@ type Protocol interface{}
 // Node is one simulated peer. Protocol state lives in the Protocols slice;
 // slot indices are assigned by the experiment setup and shared across all
 // nodes (slot 0 might be the topology service, slot 1 the optimizer, ...).
+// Nodes live in the engine's dense arena; a *Node stays valid for the
+// engine's lifetime.
 type Node struct {
 	ID    NodeID
 	Alive bool
@@ -67,12 +69,23 @@ func (n *Node) Protocol(slot int) Protocol { return n.Protocols[slot] }
 
 // Engine is the cycle-driven simulation engine.
 type Engine struct {
-	rng   *rng.RNG
-	nodes map[NodeID]*Node
-	// order caches node IDs in creation (= ID) order for iteration.
-	order  []NodeID
-	nextID NodeID
-	cycle  int64
+	rng *rng.RNG
+	// arena stores every node, densely indexed by NodeID (IDs are
+	// monotonic and never reused), replacing the historical
+	// map[NodeID]*Node + ID-order slice double bookkeeping.
+	arena nodeArena
+	cycle int64
+
+	// liveIdx is the maintained live index: every live node, in ID order.
+	// Crash/Revive only mark it dirty; ensureLive rebuilds it lazily with
+	// one arena scan, into the spare buffer so an iteration over the
+	// previous index (ForEachLive callbacks that crash nodes) survives the
+	// rebuild. Steady-state cycles touch it read-only, so the live
+	// snapshot, LiveNodes, ForEachLive and RandomLiveNode cost no per-call
+	// allocation and no map walk.
+	liveIdx   []*Node
+	liveSpare []*Node
+	liveDirty bool
 
 	// live is the maintained count of live nodes (kept by AddNode, Crash
 	// and Revive so LiveCount is O(1); churn models call it per node).
@@ -108,13 +121,29 @@ type Engine struct {
 	observers []Observer
 
 	// scratch buffers reused across cycles.
-	liveScratch   []*Node
 	msgScratch    []Message
 	outScratch    []Proposals
 	applyCtxs     []ApplyContext
 	applyBuckets  [][]applyJob
+	jobScratch    []applyJob
 	followScratch []followUp
-	roundBufs     [2][]Message
+	// rounds keeps one buffer per apply round, all retained until
+	// releaseApplyScratch so each cycle's payloads can be recycled exactly
+	// once: a payload lives either in msgScratch (proposed this cycle) or
+	// in exactly one round buffer (posted as a follow-up).
+	rounds [][]Message
+
+	// Balanced-sharding scratch (see applyRound): per-node message counts
+	// and worker assignments, dense by NodeID, reset via the touched list
+	// so a round costs O(messages + distinct nodes), not O(population).
+	nodeMsgs   []int32
+	nodeWorker []int32
+	touched    []NodeID
+	loads      []int
+	// idModSharding restores the historical ID-mod shard assignment; a
+	// test/benchmark hook proving balanced sharding changes throughput
+	// only, never the trace.
+	idModSharding bool
 }
 
 // applyJob is one routed message of an apply round: the node that must
@@ -137,7 +166,6 @@ type Observer func(e *Engine) bool
 func NewEngine(seed uint64) *Engine {
 	return &Engine{
 		rng:     rng.New(seed),
-		nodes:   make(map[NodeID]*Node),
 		workers: 1,
 		pool:    newWorkerPool(),
 	}
@@ -227,20 +255,24 @@ func (e *Engine) SetNodeFactory(f func(n *Node)) { e.makeNode = f }
 func (e *Engine) AddObserver(o Observer) { e.observers = append(e.observers, o) }
 
 // AddNode creates a new live node, populates its protocol stack via the
-// node factory (if set) and returns it.
+// node factory (if set) and returns it. The node turns live only after the
+// factory ran, so factory code (bootstrap peer sampling) observes the
+// population without it — exactly as when nodes were registered after the
+// factory in the map era.
 func (e *Engine) AddNode() *Node {
-	n := &Node{
-		ID:    e.nextID,
-		Alive: true,
-		RNG:   e.rng.Split(),
-	}
-	e.nextID++
+	n := e.arena.alloc()
+	n.RNG = e.rng.Split()
 	if e.makeNode != nil {
 		e.makeNode(n)
 	}
-	e.nodes[n.ID] = n
-	e.order = append(e.order, n.ID)
+	n.Alive = true
 	e.live++
+	if !e.liveDirty {
+		// New IDs are strictly increasing, so appending keeps the live
+		// index sorted; a dirty index is rebuilt from the arena on next
+		// use and picks the node up then.
+		e.liveIdx = append(e.liveIdx, n)
+	}
 	return n
 }
 
@@ -254,23 +286,25 @@ func (e *Engine) AddNodes(count int) []*Node {
 }
 
 // Node returns the node with the given ID, or nil if it does not exist.
-func (e *Engine) Node(id NodeID) *Node { return e.nodes[id] }
+func (e *Engine) Node(id NodeID) *Node { return e.arena.at(id) }
 
 // Crash marks the node as dead. Dead nodes are not stepped and are skipped
 // by RandomLiveNode. The node's state is retained so that rejoin semantics
 // can be modelled by the caller if desired.
 func (e *Engine) Crash(id NodeID) {
-	if n := e.nodes[id]; n != nil && n.Alive {
+	if n := e.arena.at(id); n != nil && n.Alive {
 		n.Alive = false
 		e.live--
+		e.liveDirty = true
 	}
 }
 
 // Revive marks a crashed node as live again.
 func (e *Engine) Revive(id NodeID) {
-	if n := e.nodes[id]; n != nil && !n.Alive {
+	if n := e.arena.at(id); n != nil && !n.Alive {
 		n.Alive = true
 		e.live++
+		e.liveDirty = true
 	}
 }
 
@@ -280,34 +314,73 @@ func (e *Engine) Revive(id NodeID) {
 func (e *Engine) LiveCount() int { return e.live }
 
 // Size returns the total number of nodes ever created and not removed.
-func (e *Engine) Size() int { return len(e.nodes) }
+func (e *Engine) Size() int { return e.arena.len() }
+
+// ensureLive rebuilds the live index if Crash/Revive invalidated it. The
+// rebuild scans the arena once, into the spare buffer (swapped with the
+// old index) so an in-flight iteration over the previous index is not
+// clobbered by one nested rebuild.
+func (e *Engine) ensureLive() {
+	if !e.liveDirty {
+		return
+	}
+	idx := e.liveSpare[:0]
+	for ci := range e.arena.chunks {
+		c := e.arena.chunks[ci]
+		for i := range c {
+			if c[i].Alive {
+				idx = append(idx, &c[i])
+			}
+		}
+	}
+	e.liveSpare = e.liveIdx
+	e.liveIdx = idx
+	e.liveDirty = false
+}
 
 // AllNodes returns every node ever created, dead or alive, in ID order.
+// It allocates a fresh slice; hot paths use AppendAllNodes.
 func (e *Engine) AllNodes() []*Node {
-	out := make([]*Node, 0, len(e.order))
-	for _, id := range e.order {
-		if n := e.nodes[id]; n != nil {
-			out = append(out, n)
-		}
-	}
-	return out
+	return e.AppendAllNodes(make([]*Node, 0, e.arena.len()))
 }
 
-// LiveNodes returns all live nodes in ID order (deterministic).
+// AppendAllNodes appends every node, dead or alive, in ID order onto buf
+// and returns the extended slice — the allocation-free variant of AllNodes
+// for callers that keep a scratch buffer across cycles.
+func (e *Engine) AppendAllNodes(buf []*Node) []*Node {
+	for ci := range e.arena.chunks {
+		c := e.arena.chunks[ci]
+		for i := range c {
+			buf = append(buf, &c[i])
+		}
+	}
+	return buf
+}
+
+// LiveNodes returns all live nodes in ID order (deterministic). It
+// allocates a fresh slice; hot paths use AppendLiveNodes.
 func (e *Engine) LiveNodes() []*Node {
-	out := make([]*Node, 0, len(e.order))
-	for _, id := range e.order {
-		if n := e.nodes[id]; n != nil && n.Alive {
-			out = append(out, n)
-		}
-	}
-	return out
+	e.ensureLive()
+	return append(make([]*Node, 0, len(e.liveIdx)), e.liveIdx...)
 }
 
-// ForEachLive calls f for every live node in ID order.
+// AppendLiveNodes appends all live nodes in ID order onto buf and returns
+// the extended slice — the allocation-free variant of LiveNodes for
+// callers that keep a scratch buffer across cycles (churn models, scenario
+// event sampling).
+func (e *Engine) AppendLiveNodes(buf []*Node) []*Node {
+	e.ensureLive()
+	return append(buf, e.liveIdx...)
+}
+
+// ForEachLive calls f for every live node in ID order. Liveness is
+// re-checked at visit time, so a callback crashing a later node keeps that
+// node from being visited.
 func (e *Engine) ForEachLive(f func(n *Node)) {
-	for _, id := range e.order {
-		if n := e.nodes[id]; n != nil && n.Alive {
+	e.ensureLive()
+	idx := e.liveIdx
+	for _, n := range idx {
+		if n.Alive {
 			f(n)
 		}
 	}
@@ -317,17 +390,31 @@ func (e *Engine) ForEachLive(f func(n *Node)) {
 // exclude (pass -1 to allow any). Returns nil if no eligible node exists.
 // This is the simulator-level oracle; protocols that must be realistic use
 // the peer-sampling service instead.
+//
+// The draw consumes exactly one engine-RNG value with the same modulus as
+// the historical build-a-candidate-slice implementation — the excluded
+// node's index is located by binary search and skipped arithmetically — so
+// traces are unchanged while the call allocates nothing.
 func (e *Engine) RandomLiveNode(exclude NodeID) *Node {
-	live := make([]NodeID, 0, len(e.order))
-	for _, id := range e.order {
-		if n := e.nodes[id]; n != nil && n.Alive && id != exclude {
-			live = append(live, id)
+	e.ensureLive()
+	idx := e.liveIdx
+	m := len(idx)
+	pos := m // sentinel: nothing to skip
+	if exclude >= 0 {
+		if i, found := slices.BinarySearchFunc(idx, exclude,
+			func(n *Node, id NodeID) int { return cmp.Compare(n.ID, id) }); found {
+			pos = i
+			m--
 		}
 	}
-	if len(live) == 0 {
+	if m == 0 {
 		return nil
 	}
-	return e.nodes[live[e.rng.Intn(len(live))]]
+	k := e.rng.Intn(m)
+	if k >= pos {
+		k++
+	}
+	return idx[k]
 }
 
 // RunCycle executes one cycle of the two-phase exchange model: churn, the
@@ -339,17 +426,13 @@ func (e *Engine) RunCycle() bool {
 		e.churn.Apply(e)
 	}
 
-	// Snapshot the live population; churn is done for this cycle and
+	// Snapshot the live population: churn is done for this cycle and
 	// handlers cannot crash nodes, so liveness is frozen through both
 	// phases (which is also what makes ApplyContext.Alive safe to call
-	// from concurrent apply workers).
-	live := e.liveScratch[:0]
-	for _, id := range e.order {
-		if n := e.nodes[id]; n != nil && n.Alive {
-			live = append(live, n)
-		}
-	}
-	e.liveScratch = live
+	// from concurrent apply workers) and the maintained live index IS the
+	// snapshot — no per-cycle copy.
+	e.ensureLive()
+	live := e.liveIdx
 
 	// Phase 1: parallel propose over contiguous shards. Each worker owns
 	// its shard's nodes and a private outbox; concatenating the outboxes
@@ -390,24 +473,30 @@ func (e *Engine) RunCycle() bool {
 	// Phase 2: deterministic parallel apply. Move the outbox messages into
 	// the canonical list, shuffle into the cycle's canonical delivery
 	// order with the engine RNG, then deliver in destination-sharded
-	// rounds until no handler posts a follow-up. Payload references die in
-	// one place, releaseApplyScratch, once the rounds are done.
+	// rounds until no handler posts a follow-up. Every round's buffer is
+	// retained so payload references die — and recyclable payloads return
+	// to their free lists — in one place, releaseApplyScratch, once the
+	// rounds are done.
 	msgs := e.msgScratch[:0]
 	for w := range outs {
 		msgs = append(msgs, outs[w].msgs...)
 	}
 	e.msgScratch = msgs
 	e.rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
-	for round, buf := msgs, 0; len(round) > 0; buf ^= 1 {
+	depth := 0
+	for round := msgs; len(round) > 0; depth++ {
 		follows := e.applyRound(round)
-		next := e.roundBufs[buf][:0]
+		if depth == len(e.rounds) {
+			e.rounds = append(e.rounds, nil)
+		}
+		next := e.rounds[depth][:0]
 		for _, f := range follows {
 			next = append(next, f.msg)
 		}
-		e.roundBufs[buf] = next
+		e.rounds[depth] = next
 		round = next
 	}
-	e.releaseApplyScratch(outs)
+	e.releaseApplyScratch(outs, depth)
 
 	e.cycle++
 	cont := true
@@ -419,20 +508,53 @@ func (e *Engine) RunCycle() bool {
 	return cont
 }
 
+// route classifies one canonical message on the coordinator: delivered to
+// the destination's Receiver when the destination is alive and reachable,
+// otherwise bounced to the sender's Undeliverable hook (the failure
+// feedback a real initiator would get from a timed-out connection), moving
+// the Delivered/Dropped counters deterministically. The delivery filter is
+// consulted here, at delivery time, so a partition installed mid-run also
+// blocks messages proposed earlier in the same cycle. A nil node means the
+// message has no handler at all (dropped with a nonexistent sender).
+func (e *Engine) route(m Message) (*Node, bool) {
+	if dst := e.arena.at(m.To); dst != nil && dst.Alive && !e.filter.blocked(m.From, m.To) {
+		e.delivered++
+		return dst, true
+	}
+	e.dropped++
+	return e.arena.at(m.From), false
+}
+
+// dispatch invokes the handling node's protocol for one routed message.
+func dispatch(n *Node, ax *ApplyContext, m Message, idx int, deliver bool) {
+	if m.Slot >= len(n.Protocols) {
+		return
+	}
+	ax.self = n.ID
+	ax.trigger = idx
+	if deliver {
+		if r, ok := n.Protocols[m.Slot].(Receiver); ok {
+			r.Receive(n, ax, m)
+		}
+	} else if u, ok := n.Protocols[m.Slot].(Undeliverable); ok {
+		u.Undelivered(n, ax, m)
+	}
+}
+
 // applyRound delivers one round of messages and returns the follow-ups
 // posted by its handlers, in canonical (trigger index, emission) order.
 //
-// The coordinator first classifies every message — to the destination's
-// Receiver when the destination is alive and reachable, otherwise back to
-// the sender's Undeliverable hook (the failure feedback a real initiator
-// would get from a timed-out connection) — moving the Delivered/Dropped
-// counters deterministically. The delivery filter is consulted here, at
-// delivery time, so a partition installed mid-run also blocks messages
-// proposed earlier in the same cycle. Routed jobs are then sharded by the
-// handling node's ID across the apply workers: all of one node's messages
-// land on one worker in canonical order, so per-node handler order — the
-// only order a node-local handler can observe — is independent of the
-// worker count.
+// The coordinator classifies every message in canonical order (see route),
+// then shards the routed jobs by handling node across the apply workers:
+// all of one node's messages land on one worker in canonical order, so
+// per-node handler order — the only order a node-local handler can observe
+// — is independent of both the worker count and the node→worker
+// assignment. That freedom is what makes the assignment a pure scheduling
+// decision: jobs are bin-packed onto workers by per-node message count
+// (greedy least-loaded, in first-appearance order), so a hotspot node's
+// message pile no longer drags the ~1/workers of the population that
+// shared its ID residue onto the same worker, as the historical ID-mod
+// assignment did.
 func (e *Engine) applyRound(round []Message) []followUp {
 	workers := e.ApplyWorkers()
 	if workers > len(round) {
@@ -441,50 +563,35 @@ func (e *Engine) applyRound(round []Message) []followUp {
 	if workers < 1 {
 		workers = 1
 	}
-	if cap(e.applyBuckets) < workers {
-		e.applyBuckets = make([][]applyJob, workers)
+	if cap(e.applyCtxs) < workers {
 		e.applyCtxs = make([]ApplyContext, workers)
+		e.applyBuckets = make([][]applyJob, workers)
 	}
-	buckets := e.applyBuckets[:workers]
-	for w := range buckets {
-		buckets[w] = buckets[w][:0]
-	}
-	for i, m := range round {
-		var job applyJob
-		if dst := e.nodes[m.To]; dst != nil && dst.Alive && !e.filter.blocked(m.From, m.To) {
-			e.delivered++
-			job = applyJob{idx: i, deliver: true, node: dst, msg: m}
-		} else {
-			e.dropped++
-			src := e.nodes[m.From]
-			if src == nil {
-				continue
-			}
-			job = applyJob{idx: i, node: src, msg: m}
-		}
-		w := int(uint64(job.node.ID) % uint64(workers))
-		buckets[w] = append(buckets[w], job)
-	}
-
 	ctxs := e.applyCtxs[:workers]
-	e.pool.run(workers, func(w int) {
-		ax := &ctxs[w]
+
+	if workers == 1 {
+		// Single-worker fast path: classify and handle in one fused pass
+		// on the coordinator. Handlers cannot observe the counters or
+		// liveness changes mid-phase, so fusing is trace-identical to the
+		// classify-then-handle split and skips materializing jobs.
+		ax := &ctxs[0]
 		ax.reset(e, e.cycle)
-		for _, j := range buckets[w] {
-			if j.msg.Slot >= len(j.node.Protocols) {
-				continue
-			}
-			ax.self = j.node.ID
-			ax.trigger = j.idx
-			if j.deliver {
-				if r, ok := j.node.Protocols[j.msg.Slot].(Receiver); ok {
-					r.Receive(j.node, ax, j.msg)
-				}
-			} else if u, ok := j.node.Protocols[j.msg.Slot].(Undeliverable); ok {
-				u.Undelivered(j.node, ax, j.msg)
+		for i, m := range round {
+			if n, deliver := e.route(m); n != nil {
+				dispatch(n, ax, m, i, deliver)
 			}
 		}
-	})
+	} else {
+		e.shardRound(round, workers)
+		buckets := e.applyBuckets[:workers]
+		e.pool.run(workers, func(w int) {
+			ax := &ctxs[w]
+			ax.reset(e, e.cycle)
+			for _, j := range buckets[w] {
+				dispatch(j.node, ax, j.msg, j.idx, j.deliver)
+			}
+		})
+	}
 
 	// Round barrier: aggregate per-worker eval counts and restore the
 	// sequential follow-up order. Each worker's outbox is already sorted by
@@ -501,14 +608,98 @@ func (e *Engine) applyRound(round []Message) []followUp {
 	return follows
 }
 
+// shardRound classifies a round's messages and distributes the routed jobs
+// into per-worker buckets with size-balanced assignment. Everything runs
+// on the coordinator, so the assignment is deterministic by construction —
+// and because per-node handler order is the only observable, any
+// assignment yields the same trace (the idModSharding hook and the
+// invariance tests pin that down).
+func (e *Engine) shardRound(round []Message, workers int) {
+	buckets := e.applyBuckets[:workers]
+	for w := range buckets {
+		buckets[w] = buckets[w][:0]
+	}
+	if n := e.arena.len(); len(e.nodeMsgs) < n {
+		e.nodeMsgs = make([]int32, n)
+		e.nodeWorker = make([]int32, n)
+	}
+
+	// Classification pass, in canonical order: route each message and
+	// count messages per handling node (first-appearance order recorded in
+	// touched; nodeMsgs entries are reset via touched below, keeping the
+	// pass O(messages), not O(population)).
+	jobs := e.jobScratch[:0]
+	touched := e.touched[:0]
+	for i, m := range round {
+		n, deliver := e.route(m)
+		if n == nil {
+			continue
+		}
+		jobs = append(jobs, applyJob{idx: i, deliver: deliver, node: n, msg: m})
+		if e.nodeMsgs[n.ID] == 0 {
+			touched = append(touched, n.ID)
+		}
+		e.nodeMsgs[n.ID]++
+	}
+	e.jobScratch = jobs
+	e.touched = touched
+
+	if e.idModSharding {
+		for _, j := range jobs {
+			w := int(uint64(j.node.ID) % uint64(workers))
+			buckets[w] = append(buckets[w], j)
+		}
+	} else {
+		// Greedy bin-pack: assign each distinct node, in first-appearance
+		// order, to the currently least-loaded worker, weighted by its
+		// message count. O(distinct × workers) with small worker counts.
+		if cap(e.loads) < workers {
+			e.loads = make([]int, workers)
+		}
+		loads := e.loads[:workers]
+		for w := range loads {
+			loads[w] = 0
+		}
+		for _, id := range touched {
+			w := 0
+			for v := 1; v < workers; v++ {
+				if loads[v] < loads[w] {
+					w = v
+				}
+			}
+			e.nodeWorker[id] = int32(w)
+			loads[w] += int(e.nodeMsgs[id])
+		}
+		for _, j := range jobs {
+			w := e.nodeWorker[j.node.ID]
+			buckets[w] = append(buckets[w], j)
+		}
+	}
+	for _, id := range touched {
+		e.nodeMsgs[id] = 0
+	}
+}
+
 // releaseApplyScratch is the one place a cycle's payload references die.
-// Every apply-phase scratch buffer — the propose outboxes, the canonical
-// list, the routed job lists, the per-worker follow-up outboxes and the
-// merged follow-ups, the round buffers — keeps its capacity across cycles,
-// so each is cleared over its full capacity extent; otherwise stale
-// entries beyond the next cycle's high-water mark would pin delivered
-// payloads (and their nodes) for the engine's lifetime.
-func (e *Engine) releaseApplyScratch(outs []Proposals) {
+// First every payload the cycle sent is offered back to its free list —
+// each message lives in exactly one of the canonical list (proposed) or
+// one round buffer (follow-up), so Recycle runs exactly once per payload.
+// Then every apply-phase scratch buffer — the propose outboxes, the
+// canonical list, the routed job lists, the per-worker follow-up outboxes
+// and the merged follow-ups, the round buffers — is cleared over its full
+// capacity extent; otherwise stale entries beyond the next cycle's
+// high-water mark would pin delivered payloads (and their nodes) for the
+// engine's lifetime.
+func (e *Engine) releaseApplyScratch(outs []Proposals, depth int) {
+	for i := range e.msgScratch {
+		recyclePayload(&e.msgScratch[i])
+	}
+	for d := 0; d < depth; d++ {
+		buf := e.rounds[d]
+		for i := range buf {
+			recyclePayload(&buf[i])
+		}
+	}
 	for w := range outs {
 		clear(outs[w].msgs[:cap(outs[w].msgs)])
 	}
@@ -516,13 +707,14 @@ func (e *Engine) releaseApplyScratch(outs []Proposals) {
 	for w := range e.applyBuckets {
 		clear(e.applyBuckets[w][:cap(e.applyBuckets[w])])
 	}
+	clear(e.jobScratch[:cap(e.jobScratch)])
 	for w := range e.applyCtxs {
 		out := e.applyCtxs[w].outbox
 		clear(out[:cap(out)])
 	}
 	clear(e.followScratch[:cap(e.followScratch)])
-	for b := range e.roundBufs {
-		clear(e.roundBufs[b][:cap(e.roundBufs[b])])
+	for d := range e.rounds {
+		clear(e.rounds[d][:cap(e.rounds[d])])
 	}
 }
 

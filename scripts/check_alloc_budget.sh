@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Allocation-regression smoke: runs the engine benchmarks at reduced scale
+# and compares allocs/op against the checked-in budget
+# (scripts/alloc_budget.txt). Fails when any benchmark exceeds its budget
+# by more than 20% — the guard that keeps the hot path's recycling honest
+# (a reflection-based sort or an un-pooled payload shows up as a multiple,
+# not a percentage). Budgets are for the reduced population below; they are
+# alloc *counts*, which unlike wall-clock are stable across machines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET=scripts/alloc_budget.txt
+NODES=${ENGINE_BENCH_NODES:-20000}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+ENGINE_BENCH_NODES=$NODES go test . -run '^$' \
+    -bench BenchmarkEngineMillion -benchtime 1x -benchmem | tee "$tmp"
+go test ./internal/sim/ -run '^$' \
+    -bench 'BenchmarkRandomLiveNode|BenchmarkApplyShardsHotspot' \
+    -benchtime 100x -benchmem | tee -a "$tmp"
+
+awk -v nodes="$NODES" '
+    NR == FNR {
+        if ($0 ~ /^#/ || NF < 2) next
+        name = $1
+        gsub(/\$NODES/, nodes, name)
+        budget[name] = $2
+        next
+    }
+    /^Benchmark/ {
+        a = -1
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op") a = $(i - 1)
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (!(name in budget) || a < 0) next
+        seen[name] = 1
+        limit = budget[name] * 1.2
+        if (a + 0 > limit) {
+            printf "FAIL %s: %d allocs/op exceeds budget %d (+20%% = %.0f)\n", name, a, budget[name], limit
+            bad = 1
+        } else {
+            printf "ok   %s: %d allocs/op (budget %d)\n", name, a, budget[name]
+        }
+    }
+    END {
+        for (n in budget) if (!(n in seen)) {
+            printf "FAIL budgeted benchmark %s did not run\n", n
+            bad = 1
+        }
+        exit bad
+    }
+' "$BUDGET" "$tmp"
