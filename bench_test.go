@@ -221,13 +221,25 @@ func BenchmarkApplyShards(b *testing.B) {
 			e.SetApplyWorkers(w)
 			e.AddNodes(n)
 			overlay.InitNewscast(e, 0, 20)
+			start := e.Stats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.RunCycle()
 			}
+			b.StopTimer()
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
+			reportPhaseTimes(b, start, e.Stats())
 		})
 	}
+}
+
+// reportPhaseTimes attributes a benchmark's per-op wall time to the two
+// cycle phases via the engine's instrumentation deltas, so the BENCH
+// trajectory can tell a propose-bound stack from an apply-bound one.
+func reportPhaseTimes(b *testing.B, start, end sim.EngineStats) {
+	b.Helper()
+	b.ReportMetric(float64(end.ProposeNanos-start.ProposeNanos)/float64(b.N), "propose-ns/op")
+	b.ReportMetric(float64(end.ApplyNanos-start.ApplyNanos)/float64(b.N), "apply-ns/op")
 }
 
 // BenchmarkEngineMillion is the headline scale benchmark: the full
@@ -253,6 +265,7 @@ func BenchmarkEngineMillion(b *testing.B) {
 			})
 			defer net.Engine().Close()
 			net.Step() // warm engine scratch and payload free lists
+			start := net.Engine().Stats()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -260,6 +273,7 @@ func BenchmarkEngineMillion(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "node-cycles/s")
+			reportPhaseTimes(b, start, net.Engine().Stats())
 		})
 	}
 }

@@ -17,6 +17,12 @@
 // parallelism) and -sweepworkers (sweep pool) value. -cpuprofile and
 // -memprofile write pprof profiles of a campaign or sweep run.
 //
+// Observability (docs/OBSERVABILITY.md): -progress renders live progress
+// lines on stderr, -statsjson dumps end-of-run engine instrumentation as
+// JSON lines, and -debugaddr serves expvar + pprof over HTTP while the
+// run is in flight. None of the three changes a single metric byte on
+// stdout — the invariance tests in this package pin that.
+//
 // Examples:
 //
 //	scenario -list                          # built-in scenarios and sweeps
@@ -27,6 +33,7 @@
 //	scenario -spec my.json -format jsonl    # run a spec file
 //	scenario -sweep overlay-vs-churn -sweepworkers 8 -o rows.csv -summary cells.csv
 //	scenario -sweep my-sweep.json -reps 10  # sweep from a file
+//	scenario -sweep overlay-vs-churn -progress -statsjson stats.jsonl -debugaddr 127.0.0.1:6060
 package main
 
 import (
@@ -39,9 +46,13 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
 	"gossipopt/internal/exp"
+	"gossipopt/internal/obs"
 	"gossipopt/internal/scenario"
+	"gossipopt/internal/sim"
 )
 
 // errBadFlags marks a parse failure the FlagSet has already reported to
@@ -84,6 +95,9 @@ func run(args []string, out, errOut io.Writer) (err error) {
 		summaryPath  = fs.String("summary", "", "sweeps: write the aggregated per-cell summary table to this file (same -format)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign/sweep to this file")
 		memProfile   = fs.String("memprofile", "", "write a pprof heap profile taken after the campaign/sweep to this file")
+		progress     = fs.Bool("progress", false, "render live progress (reps, rows, ETA) to stderr once a second")
+		statsJSON    = fs.String("statsjson", "", "write end-of-run engine stats as JSON lines (one per rep, plus one per sweep cell) to this file")
+		debugAddr    = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. 127.0.0.1:6060; port 0 picks one) for the run's duration")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -93,6 +107,12 @@ func run(args []string, out, errOut io.Writer) (err error) {
 	}
 	setFlags := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+
+	// The observability flags instrument a run; with -list/-show there is
+	// nothing to instrument, so reject them instead of ignoring them.
+	if (*list || *show != "") && (setFlags["progress"] || setFlags["statsjson"] || setFlags["debugaddr"]) {
+		return fmt.Errorf("-progress, -statsjson and -debugaddr apply to runs (-run, -spec or -sweep)")
+	}
 
 	if *list {
 		fmt.Fprintf(out, "%-18s %-7s %s\n", "name", "engine", "description")
@@ -246,18 +266,115 @@ func run(args []string, out, errOut io.Writer) (err error) {
 		defer pprof.StopCPUProfile()
 	}
 
+	// The observability layer: a stderr progress printer, a JSONL stats
+	// file, and the expvar/pprof endpoint. All three feed off the runner's
+	// progress callback (one update per finished repetition, in canonical
+	// order) and none of them writes to the metric sink — the invariance
+	// tests byte-compare stdout with and without them. Free-list counting
+	// is process-global and off by default; the stats consumers turn it on
+	// for the run's duration.
+	var printer *obs.Printer
+	if *progress {
+		printer = obs.NewPrinter(errOut, time.Second)
+		defer printer.Close()
+	}
+	var (
+		statsW   *obs.StatsWriter
+		statsErr error
+	)
+	if *statsJSON != "" {
+		f, err := os.Create(*statsJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		statsW = obs.NewStatsWriter(f)
+	}
+	if *statsJSON != "" || *debugAddr != "" {
+		sim.EnableFreeListStats(true)
+		defer sim.EnableFreeListStats(false)
+	}
+	var (
+		progMu sync.Mutex
+		latest scenario.ProgressUpdate
+	)
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(errOut, "debug: expvar and pprof on http://%s/debug/vars\n", dbg.Addr())
+		obs.Publish("scenario", func() any {
+			progMu.Lock()
+			defer progMu.Unlock()
+			return latest
+		})
+	}
+	var onProgress func(scenario.ProgressUpdate)
+	if *progress || *statsJSON != "" || *debugAddr != "" {
+		onProgress = func(u scenario.ProgressUpdate) {
+			progMu.Lock()
+			latest = u
+			progMu.Unlock()
+			if printer != nil {
+				printer.Update(obs.Progress{
+					TotalReps: u.TotalReps, DoneReps: u.DoneReps,
+					TotalCells: u.TotalCells, DoneCells: u.DoneCells,
+					Rows: u.Rows, Cell: u.Cell,
+				})
+			}
+			if statsW != nil {
+				err := statsW.Write(obs.RepStats{
+					Scenario: u.Cell, Rep: u.Rep, Seed: u.Summary.Seed,
+					Cycles: u.Summary.Cycles, Quality: u.Summary.Quality,
+					Stats: u.Summary.Stats,
+				})
+				if err != nil && statsErr == nil {
+					statsErr = fmt.Errorf("writing %s: %w", *statsJSON, err)
+				}
+			}
+		}
+	}
+	// Human-facing end-of-run chatter goes to stderr only, after the
+	// progress printer has shut down so lines never interleave.
+	finishProgress := func() error {
+		if printer != nil {
+			printer.Close()
+		}
+		return statsErr
+	}
+
 	if isSwp {
 		opts := scenario.Options{
 			BaseSeed:     *seed,
 			Workers:      *workers,
 			ApplyWorkers: *applyWorkers,
 			RepWorkers:   *sweepWorkers,
+			Progress:     onProgress,
 		}
 		if setFlags["reps"] {
 			opts.Reps = *reps
 		}
 		results, err := scenario.RunSweep(sw, opts, sink)
 		if err != nil {
+			return err
+		}
+		if statsW != nil {
+			for _, r := range results {
+				if r.Summary.Engine == nil {
+					continue
+				}
+				err := statsW.Write(obs.CellStats{
+					Sweep: sw.Name, Cell: r.Cell.Name, Reps: r.Summary.Reps,
+					Stats: *r.Summary.Engine,
+				})
+				if err != nil && statsErr == nil {
+					statsErr = fmt.Errorf("writing %s: %w", *statsJSON, err)
+				}
+			}
+		}
+		if err := finishProgress(); err != nil {
 			return err
 		}
 		cells := make([]exp.CellSummary, len(results))
@@ -290,8 +407,12 @@ func run(args []string, out, errOut io.Writer) (err error) {
 		Workers:      *workers,
 		ApplyWorkers: *applyWorkers,
 		RepWorkers:   *repWorkers,
+		Progress:     onProgress,
 	}, sink)
 	if err != nil {
+		return err
+	}
+	if err := finishProgress(); err != nil {
 		return err
 	}
 	for _, s := range sums {

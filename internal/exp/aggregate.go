@@ -22,10 +22,13 @@ import (
 type MetricStat struct {
 	// N is the number of samples aggregated (repetitions; for
 	// to_threshold, only the repetitions that reached the threshold).
-	N int64
+	N int64 `json:"n"`
 	// Min, Mean, Max, Std are the sample statistics (Std is the unbiased
 	// sample standard deviation; 0 for fewer than two samples).
-	Min, Mean, Max, Std float64
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+	Std  float64 `json:"std"`
 }
 
 // statOf freezes a streaming accumulator into a MetricStat.
@@ -59,6 +62,11 @@ type CellSummary struct {
 	ToThreshold MetricStat
 	Reached     int
 	Censored    int
+	// Engine, when the runner collected instrumentation, summarizes the
+	// cell's engine stats snapshots. The summary-table writers ignore it
+	// (the fixed metric list above is the table), so its presence never
+	// changes the emitted bytes; cmd/scenario -statsjson renders it.
+	Engine *EngineStatsSummary
 }
 
 // AggregateCell reduces one cell's repetitions: finals holds each

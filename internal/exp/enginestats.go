@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"gossipopt/internal/sim"
+	"gossipopt/internal/stats"
+)
+
+// EngineStatsSummary aggregates per-repetition engine instrumentation
+// snapshots (sim.EngineStats) across a sweep cell: one MetricStat per
+// instrumentation counter, over the cell's repetitions. It rides on
+// CellSummary as an optional extra — the summary-table writers ignore it,
+// so enabling instrumentation never changes the table bytes; it surfaces
+// through cmd/scenario -statsjson cell lines instead.
+type EngineStatsSummary struct {
+	// ProposeNanos and ApplyNanos summarize the cumulative per-phase wall
+	// times (nanoseconds per repetition).
+	ProposeNanos MetricStat `json:"propose_ns"`
+	ApplyNanos   MetricStat `json:"apply_ns"`
+	// ApplyRounds and ApplyJobs summarize apply-phase volume.
+	ApplyRounds MetricStat `json:"apply_rounds"`
+	ApplyJobs   MetricStat `json:"apply_jobs"`
+	// ShardSkew summarizes each repetition's apply-shard load-imbalance
+	// ratio (sim.EngineStats.ShardSkew; 1 = perfectly even).
+	ShardSkew MetricStat `json:"shard_skew"`
+	// LiveRebuilds and PoolTasks summarize live-index rebuild and
+	// worker-pool submission counts.
+	LiveRebuilds MetricStat `json:"live_rebuilds"`
+	PoolTasks    MetricStat `json:"pool_tasks"`
+}
+
+// AggregateEngineStats reduces one cell's per-repetition engine snapshots
+// to an EngineStatsSummary.
+func AggregateEngineStats(snaps []sim.EngineStats) EngineStatsSummary {
+	var pn, an, ar, aj, sk, lr, pt stats.Acc
+	for _, s := range snaps {
+		pn.Add(float64(s.ProposeNanos))
+		an.Add(float64(s.ApplyNanos))
+		ar.Add(float64(s.ApplyRounds))
+		aj.Add(float64(s.ApplyJobs))
+		sk.Add(s.ShardSkew())
+		lr.Add(float64(s.LiveRebuilds))
+		pt.Add(float64(s.PoolTasks))
+	}
+	return EngineStatsSummary{
+		ProposeNanos: statOf(&pn),
+		ApplyNanos:   statOf(&an),
+		ApplyRounds:  statOf(&ar),
+		ApplyJobs:    statOf(&aj),
+		ShardSkew:    statOf(&sk),
+		LiveRebuilds: statOf(&lr),
+		PoolTasks:    statOf(&pt),
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// The debug endpoint: a plain HTTP server exposing the process-global
+// expvar table at /debug/vars and the pprof profile handlers under
+// /debug/pprof/, on a mux of its own (nothing is registered on
+// http.DefaultServeMux). It exists so a long sweep can be inspected in
+// flight — `curl host:port/debug/vars` for the published progress and
+// engine stats, `go tool pprof host:port/debug/pprof/profile` for a CPU
+// profile — without the run cooperating in any way.
+
+// DebugServer is a running debug HTTP endpoint. Close shuts it down.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug starts the debug endpoint on addr (e.g. "127.0.0.1:6060";
+// port 0 picks a free port — read the result from Addr). The server runs
+// until Close.
+func StartDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the endpoint's bound address ("127.0.0.1:49152"), useful
+// when StartDebug was given port 0.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the endpoint down and releases its port.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// The expvar table is process-global and expvar.Publish panics on a
+// duplicate name, so republishing (a test calling cmd/scenario's run
+// twice, or two campaigns in one process) needs one level of
+// indirection: each name is registered with expvar exactly once, bound
+// to a holder whose callback can be swapped.
+var (
+	pubMu      sync.Mutex
+	pubHolders = map[string]*pubHolder{}
+)
+
+// pubHolder is the swappable callback behind one published expvar name.
+type pubHolder struct {
+	mu sync.Mutex
+	fn func() any
+}
+
+// value evaluates the current callback (expvar.Func).
+func (h *pubHolder) value() any {
+	h.mu.Lock()
+	fn := h.fn
+	h.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+// Publish exposes fn's result as the expvar variable name (rendered on
+// every /debug/vars scrape). Unlike expvar.Publish it may be called again
+// with the same name: the new callback replaces the old one.
+func Publish(name string, fn func() any) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	h, ok := pubHolders[name]
+	if !ok {
+		h = &pubHolder{}
+		pubHolders[name] = h
+		expvar.Publish(name, expvar.Func(h.value))
+	}
+	h.mu.Lock()
+	h.fn = fn
+	h.mu.Unlock()
+}

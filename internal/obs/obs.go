@@ -1,0 +1,13 @@
+// Package obs is the observability layer around the simulation engines
+// and the scenario runner: live progress rendering for long campaigns,
+// JSONL dumps of end-of-run engine statistics, and an on-demand debug
+// HTTP endpoint (expvar + pprof) for inspecting a run in flight.
+//
+// The package is strictly a spectator. Nothing here touches an engine RNG
+// stream or the metric byte stream: progress and stats render to stderr
+// or to side files, the debug endpoint reads only the race-safe
+// Engine.Stats snapshots, and the no-op path (no flags set) costs zero
+// allocations in the hot loop. The invariance tests in cmd/scenario pin
+// that contract by byte-comparing metric output with the layer on and
+// off.
+package obs

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"gossipopt/internal/exp"
+	"gossipopt/internal/sim"
+)
+
+func TestPrinterRendersTickedUpdates(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPrinter(&buf, 100*time.Millisecond)
+	p.Update(Progress{TotalReps: 8, DoneReps: 3, TotalCells: 4, DoneCells: 1, Rows: 42, Cell: "sweep/x=1"})
+	time.Sleep(250 * time.Millisecond)
+	p.Close()
+	out := buf.String()
+	if !strings.Contains(out, "progress: 3/8 reps") {
+		t.Fatalf("no ticked progress line:\n%s", out)
+	}
+	if !strings.Contains(out, "1/4 cells") || !strings.Contains(out, "42 rows") {
+		t.Fatalf("line misses cells/rows:\n%s", out)
+	}
+	if !strings.Contains(out, "elapsed") {
+		t.Fatalf("Close printed no final line:\n%s", out)
+	}
+}
+
+func TestPrinterFinalLineWithoutTick(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPrinter(&buf, time.Hour) // no tick will ever fire
+	p.Update(Progress{TotalReps: 2, DoneReps: 2, TotalCells: 1, DoneCells: 1, Rows: 7, Cell: "baseline"})
+	p.Close()
+	if out := buf.String(); !strings.Contains(out, "progress: 2/2 reps") {
+		t.Fatalf("no final line on Close:\n%s", out)
+	}
+	// Close is idempotent and a never-updated printer prints nothing.
+	p.Close()
+	var empty bytes.Buffer
+	q := NewPrinter(&empty, time.Hour)
+	q.Close()
+	if empty.Len() != 0 {
+		t.Fatalf("idle printer produced output: %q", empty.String())
+	}
+}
+
+func TestStatsWriterEmitsParsableJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStatsWriter(&buf)
+	if err := w.Write(RepStats{Scenario: "baseline", Rep: 1, Seed: 7, Cycles: 20, Quality: 1.5,
+		Stats: sim.EngineStats{Cycles: 20, Delivered: 99, ApplyRounds: 40}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(CellStats{Sweep: "s", Cell: "s/x=1", Reps: 3,
+		Stats: exp.AggregateEngineStats([]sim.EngineStats{{ApplyJobs: 10}, {ApplyJobs: 20}})}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line does not parse: %v\n%s", err, sc.Text())
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	repStats, ok := lines[0]["stats"].(map[string]any)
+	if !ok || repStats["delivered"] != float64(99) || repStats["apply_rounds"] != float64(40) {
+		t.Fatalf("rep line stats wrong: %v", lines[0])
+	}
+	cellStats, ok := lines[1]["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("cell line has no stats: %v", lines[1])
+	}
+	jobs, ok := cellStats["apply_jobs"].(map[string]any)
+	if !ok || jobs["mean"] != float64(15) || jobs["n"] != float64(2) {
+		t.Fatalf("cell line apply_jobs wrong: %v", cellStats)
+	}
+}
+
+func TestDebugServerServesVarsAndPprof(t *testing.T) {
+	calls := 0
+	Publish("obs_test_probe", func() any { calls++; return map[string]any{"x": calls} })
+	d, err := StartDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	probe, ok := decoded["obs_test_probe"].(map[string]any)
+	if !ok || probe["x"] == float64(0) {
+		t.Fatalf("published var missing from scrape: %v", decoded["obs_test_probe"])
+	}
+	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
+		t.Fatal("pprof index missing")
+	}
+
+	// Republishing the same name swaps the callback instead of panicking
+	// (expvar.Publish would); the next scrape sees the new value.
+	Publish("obs_test_probe", func() any { return map[string]any{"x": -1} })
+	if !strings.Contains(get("/debug/vars"), `"obs_test_probe": {"x":-1}`) {
+		t.Fatal("republished callback not visible")
+	}
+}

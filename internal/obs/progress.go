@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is one point-in-time view of a running campaign or sweep,
+// counted in finished repetitions (the runner's unit of work). The
+// runner reports updates in canonical cell-then-repetition order, so the
+// sequence of Progress values is deterministic even when the underlying
+// jobs run on a worker pool.
+type Progress struct {
+	// TotalReps and DoneReps count repetition jobs over the whole run
+	// (sweeps: cells × reps).
+	TotalReps int
+	DoneReps  int
+	// TotalCells and DoneCells count sweep cells; a plain campaign is the
+	// one-cell case.
+	TotalCells int
+	DoneCells  int
+	// Rows is the number of metric rows flushed to the sink so far.
+	Rows int64
+	// Cell names the most recently finished repetition's cell (sweeps) or
+	// scenario (campaigns).
+	Cell string
+}
+
+// Printer renders Progress snapshots as single-line updates on a ticker.
+// It decouples rendering cadence from update cadence: the runner calls
+// Update as often as it likes (it only swaps the latest snapshot under a
+// mutex), and a background goroutine prints at the configured interval —
+// so progress output never backpressures the run. Close stops the
+// goroutine and prints one final summary line.
+type Printer struct {
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+	now      func() time.Time
+
+	mu     sync.Mutex
+	latest Progress
+	dirty  bool
+	ever   bool
+
+	done     chan struct{}
+	finished sync.WaitGroup
+	once     sync.Once
+}
+
+// NewPrinter starts a progress printer writing to w every interval
+// (intervals below 100ms are clamped to 100ms). The caller must Close it.
+func NewPrinter(w io.Writer, interval time.Duration) *Printer {
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	p := &Printer{
+		w:        w,
+		interval: interval,
+		now:      time.Now,
+		done:     make(chan struct{}),
+	}
+	p.start = p.now()
+	p.finished.Add(1)
+	go p.loop()
+	return p
+}
+
+// Update records the latest progress snapshot; the ticker goroutine
+// renders it at the next tick. Safe for concurrent use, O(1), never
+// blocks on I/O.
+func (p *Printer) Update(u Progress) {
+	p.mu.Lock()
+	p.latest = u
+	p.dirty = true
+	p.ever = true
+	p.mu.Unlock()
+}
+
+// Close stops the ticker goroutine and prints a final line for the last
+// snapshot (if any update ever arrived). Idempotent.
+func (p *Printer) Close() {
+	p.once.Do(func() {
+		close(p.done)
+		p.finished.Wait()
+		p.mu.Lock()
+		u, any := p.latest, p.ever
+		p.mu.Unlock()
+		if any {
+			p.render(u, true)
+		}
+	})
+}
+
+// loop is the ticker goroutine: it renders the latest snapshot once per
+// interval, but only when something changed since the last render.
+func (p *Printer) loop() {
+	defer p.finished.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			u, dirty := p.latest, p.dirty
+			p.dirty = false
+			p.mu.Unlock()
+			if dirty {
+				p.render(u, false)
+			}
+		}
+	}
+}
+
+// render writes one progress line: reps done, cells done (when the run
+// has more than one cell), rows flushed, throughput and ETA. The final
+// line reports total elapsed time instead of an ETA.
+func (p *Printer) render(u Progress, final bool) {
+	elapsed := p.now().Sub(p.start).Seconds()
+	var b []byte
+	b = fmt.Appendf(b, "progress: %d/%d reps", u.DoneReps, u.TotalReps)
+	if u.TotalCells > 1 {
+		b = fmt.Appendf(b, ", %d/%d cells", u.DoneCells, u.TotalCells)
+	}
+	b = fmt.Appendf(b, ", %d rows", u.Rows)
+	if elapsed > 0 && u.DoneReps > 0 {
+		rate := float64(u.DoneReps) / elapsed
+		b = fmt.Appendf(b, ", %.2f reps/s", rate)
+		if final {
+			b = fmt.Appendf(b, ", %.1fs elapsed", elapsed)
+		} else if left := u.TotalReps - u.DoneReps; left > 0 {
+			b = fmt.Appendf(b, ", ETA %.0fs", float64(left)/rate)
+		}
+	}
+	if u.Cell != "" && !final {
+		b = fmt.Appendf(b, " (%s)", u.Cell)
+	}
+	b = append(b, '\n')
+	p.w.Write(b)
+}

@@ -30,6 +30,33 @@ type Options struct {
 	// the sequential runner's for every value — RepWorkers, like Workers,
 	// only changes wall-clock speed.
 	RepWorkers int
+	// Progress, when set, is called once per finished repetition — after
+	// its rows entered the sink, on the flush goroutine, in canonical
+	// cell-then-repetition order. Because it rides the ordered flush, the
+	// update stream (timing fields aside) is identical for every worker
+	// count. The callback must not write to the campaign's sink.
+	Progress func(ProgressUpdate)
+}
+
+// ProgressUpdate reports one finished repetition to Options.Progress.
+type ProgressUpdate struct {
+	// TotalReps and DoneReps count repetition jobs over the whole run
+	// (sweeps: cells × reps).
+	TotalReps int
+	DoneReps  int
+	// TotalCells and DoneCells count sweep cells whose repetitions have
+	// all been flushed; a campaign is the one-cell case.
+	TotalCells int
+	DoneCells  int
+	// Rows is the number of metric rows flushed into the sink so far.
+	Rows int64
+	// Cell names the finished repetition's cell (sweeps) or scenario
+	// (campaigns); Rep is its index within the cell.
+	Cell string
+	Rep  int
+	// Summary is the finished repetition's end-of-run state, engine
+	// instrumentation snapshot included.
+	Summary RepSummary
 }
 
 // RepSummary is the end-of-run state of one repetition.
@@ -42,6 +69,10 @@ type RepSummary struct {
 	Quality float64
 	// Reached reports whether the Stop.Quality threshold stopped the run.
 	Reached bool
+	// Stats is the engine's instrumentation snapshot at the end of the
+	// repetition (sim.Engine.Stats). Event-engine repetitions fill only
+	// the delivery and eval counters.
+	Stats sim.EngineStats
 }
 
 // Run executes a campaign: Reps repetitions of the spec, each emitting its
@@ -66,6 +97,11 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	if opts.RepWorkers > 1 && reps > 1 {
 		return runParallel(spec, base, reps, opts, sink)
 	}
+	var rows *int64
+	if opts.Progress != nil {
+		cs := &countSink{sink: sink}
+		sink, rows = cs, &cs.rows
+	}
 	summaries := make([]RepSummary, 0, reps)
 	for rep := 0; rep < reps; rep++ {
 		sum, err := runRep(spec, base, 0, rep, opts, sink)
@@ -73,9 +109,40 @@ func Run(spec Spec, opts Options, sink exp.Sink) ([]RepSummary, error) {
 			return summaries, fmt.Errorf("scenario %q rep %d: %w", spec.Name, rep, err)
 		}
 		summaries = append(summaries, sum)
+		if opts.Progress != nil {
+			opts.Progress(campaignUpdate(spec.Name, reps, rep, *rows, sum))
+		}
 	}
 	return summaries, sink.Flush()
 }
+
+// campaignUpdate builds the ProgressUpdate of one finished campaign
+// repetition (the one-cell case: the cell completes with the last rep).
+func campaignUpdate(name string, reps, rep int, rows int64, sum RepSummary) ProgressUpdate {
+	u := ProgressUpdate{
+		TotalReps: reps, DoneReps: rep + 1,
+		TotalCells: 1,
+		Rows:       rows,
+		Cell:       name, Rep: rep,
+		Summary: sum,
+	}
+	if rep+1 == reps {
+		u.DoneCells = 1
+	}
+	return u
+}
+
+// countSink wraps a sink, counting emitted rows for progress reporting.
+type countSink struct {
+	sink exp.Sink
+	rows int64
+}
+
+// Emit implements exp.Sink, counting the row through to the wrapped sink.
+func (c *countSink) Emit(r exp.Record) error { c.rows++; return c.sink.Emit(r) }
+
+// Flush implements exp.Sink by delegating.
+func (c *countSink) Flush() error { return c.sink.Flush() }
 
 // runRep executes one repetition with its derived seed. Single-spec
 // campaigns pass cellIdx 0; sweeps pass the cell's grid index, so a
@@ -201,6 +268,7 @@ func runRepPool(specs []Spec, reps int, opts Options, base uint64, handle func(r
 // summaries already produced are exactly the sequential runner's.
 func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) ([]RepSummary, error) {
 	summaries := make([]RepSummary, 0, reps)
+	var rows int64
 	err := runRepPool([]Spec{spec}, reps, opts, base, func(o repOut) error {
 		if o.err != nil {
 			return fmt.Errorf("scenario %q rep %d: %w", spec.Name, o.rep, o.err)
@@ -210,7 +278,11 @@ func runParallel(spec Spec, base uint64, reps int, opts Options, sink exp.Sink) 
 				return fmt.Errorf("scenario %q rep %d: %w", spec.Name, o.rep, err)
 			}
 		}
+		rows += int64(len(o.recs))
 		summaries = append(summaries, o.sum)
+		if opts.Progress != nil {
+			opts.Progress(campaignUpdate(spec.Name, reps, o.rep, rows, o.sum))
+		}
 		return nil
 	})
 	if err != nil {
@@ -319,6 +391,7 @@ func runCycleRep(s Spec, seed uint64, rep int, opts Options, sink exp.Sink) (Rep
 	sum.Time = float64(c)
 	sum.Evals = net.TotalEvals()
 	sum.Quality = net.Quality()
+	sum.Stats = eng.Stats()
 	return sum, nil
 }
 
@@ -505,6 +578,13 @@ func runEventRep(s Spec, seed uint64, rep int, sink exp.Sink) (RepSummary, error
 	sum.Time = now
 	sum.Evals = net.TotalEvals()
 	sum.Quality = net.Quality()
+	// The event engine has no instrumentation snapshot; carry the counters
+	// it does expose so statsjson lines stay meaningful across engines.
+	sum.Stats = sim.EngineStats{
+		Delivered: eng.Delivered(),
+		Dropped:   eng.Dropped(),
+		Evals:     net.TotalEvals(),
+	}
 	return sum, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gossipopt/internal/exp"
+	"gossipopt/internal/sim"
 )
 
 // Scenario sweeps: a SweepSpec is a base Spec plus a grid of named
@@ -367,6 +368,7 @@ func RunSweep(sw SweepSpec, opts Options, sink exp.Sink) ([]SweepCellResult, err
 		sums        []RepSummary
 		finals      []exp.Record
 		toThreshold []float64
+		rows        int64
 	)
 	err = runRepPool(specs, reps, opts, base, func(o repOut) error {
 		if o.rep == 0 {
@@ -382,6 +384,7 @@ func RunSweep(sw SweepSpec, opts Options, sink exp.Sink) ([]SweepCellResult, err
 				return fmt.Errorf("sweep %q cell %s rep %d: %w", sw.Name, cells[o.cell].Name, o.rep, err)
 			}
 		}
+		rows += int64(len(o.recs))
 		sums = append(sums, o.sum)
 		if n := len(o.recs); n > 0 {
 			finals = append(finals, o.recs[n-1])
@@ -390,10 +393,26 @@ func RunSweep(sw SweepSpec, opts Options, sink exp.Sink) ([]SweepCellResult, err
 			toThreshold = append(toThreshold, exp.TimeToThreshold(o.recs, *sw.Threshold))
 		}
 		if o.rep == reps-1 {
+			summary := exp.AggregateCell(sw.Name, cells[o.cell].Name, finals, toThreshold, sw.Threshold)
+			snaps := make([]sim.EngineStats, len(sums))
+			for i, s := range sums {
+				snaps[i] = s.Stats
+			}
+			engine := exp.AggregateEngineStats(snaps)
+			summary.Engine = &engine
 			results = append(results, SweepCellResult{
 				Cell:    cells[o.cell],
 				Sums:    sums,
-				Summary: exp.AggregateCell(sw.Name, cells[o.cell].Name, finals, toThreshold, sw.Threshold),
+				Summary: summary,
+			})
+		}
+		if opts.Progress != nil {
+			opts.Progress(ProgressUpdate{
+				TotalReps: len(cells) * reps, DoneReps: o.cell*reps + o.rep + 1,
+				TotalCells: len(cells), DoneCells: len(results),
+				Rows: rows,
+				Cell: cells[o.cell].Name, Rep: o.rep,
+				Summary: o.sum,
 			})
 		}
 		return nil

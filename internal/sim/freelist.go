@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Payload recycling. A cycle at n = 10^6 creates on the order of n message
 // payloads (view snapshots, best-point exchanges); allocating them fresh
@@ -42,12 +45,38 @@ type FreeList[T any] struct {
 	pool sync.Pool
 }
 
+// Free-list hit/miss instrumentation. Free lists are package-level pools
+// shared by every engine in the process, so the counters are process-global
+// too. Counting is opt-in: Get runs on parallel propose and apply workers,
+// and the default path must not pay cross-worker atomic adds per payload —
+// off (the default), Get's only instrumentation cost is one uncontended
+// atomic load.
+var (
+	flStatsOn        atomic.Bool
+	flHits, flMisses atomic.Int64
+)
+
+// EnableFreeListStats turns process-global free-list hit/miss counting on
+// or off. The counters keep their accumulated values across toggles; they
+// surface in every engine's Stats snapshot as FreeListHits/FreeListMisses.
+func EnableFreeListStats(on bool) { flStatsOn.Store(on) }
+
+// FreeListStats returns the process-global free-list counters: Gets served
+// from a recycled payload (hits) and Gets that allocated fresh (misses).
+func FreeListStats() (hits, misses int64) { return flHits.Load(), flMisses.Load() }
+
 // Get returns a recycled *T, or a freshly allocated zero value when the
 // list is empty. Recycled values keep whatever the type's Recycle method
 // left in them (by convention: zero-length slices with warm capacity).
 func (f *FreeList[T]) Get() *T {
 	if v := f.pool.Get(); v != nil {
+		if flStatsOn.Load() {
+			flHits.Add(1)
+		}
 		return v.(*T)
+	}
+	if flStatsOn.Load() {
+		flMisses.Add(1)
 	}
 	return new(T)
 }

@@ -23,6 +23,11 @@ type workerPool struct {
 	jobs chan func()
 	size int
 	stop sync.Once
+	// submitted counts jobs handed to pool goroutines over the pool's
+	// lifetime (shard 0 runs on the coordinator and is not counted).
+	// Coordinator-owned like the engine's other accumulators; surfaced
+	// through the Stats snapshot as PoolTasks.
+	submitted int64
 }
 
 // newWorkerPool creates an empty pool and registers the finalizer
@@ -54,6 +59,7 @@ func (p *workerPool) run(shards int, fn func(shard int)) {
 		return
 	}
 	p.grow(shards - 1)
+	p.submitted += int64(shards - 1)
 	var wg sync.WaitGroup
 	wg.Add(shards - 1)
 	for s := 1; s < shards; s++ {

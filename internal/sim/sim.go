@@ -24,6 +24,7 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"time"
 
 	"gossipopt/internal/rng"
 )
@@ -144,6 +145,19 @@ type Engine struct {
 	// test/benchmark hook proving balanced sharding changes throughput
 	// only, never the trace.
 	idModSharding bool
+
+	// Instrumentation accumulators (see stats.go). All are plain
+	// coordinator-owned fields mutated on the hot path without atomics;
+	// publishStats copies them into the race-safe snapshot once per
+	// cycle.
+	proposeNanos, applyNanos int64
+	applyRounds, applyJobs   int64
+	shardedRounds            int64
+	shardMinSum, shardMaxSum int64
+	shardMeanSum             float64
+	liveRebuilds             int64
+	// stats is the atomic snapshot behind Engine.Stats.
+	stats engineStats
 }
 
 // applyJob is one routed message of an apply round: the node that must
@@ -195,11 +209,14 @@ func (e *Engine) SetChurn(c ChurnModel) { e.churn = c }
 func (e *Engine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
 
 // Delivered returns the count of apply-phase messages delivered to a live,
-// reachable destination (reply legs included).
+// reachable destination (reply legs included). Coordinator-side accessor:
+// like every counter it is also folded into the Stats snapshot, which is
+// what concurrent readers must use.
 func (e *Engine) Delivered() int64 { return e.delivered }
 
 // Dropped returns the count of apply-phase messages lost to a dead
 // destination or to the delivery filter (partitions), reply legs included.
+// Coordinator-side accessor; concurrent readers use Stats.
 func (e *Engine) Dropped() int64 { return e.dropped }
 
 // SetWorkers sets the number of pool workers stepping nodes during the
@@ -324,6 +341,7 @@ func (e *Engine) ensureLive() {
 	if !e.liveDirty {
 		return
 	}
+	e.liveRebuilds++
 	idx := e.liveSpare[:0]
 	for ci := range e.arena.chunks {
 		c := e.arena.chunks[ci]
@@ -438,6 +456,7 @@ func (e *Engine) RunCycle() bool {
 	// its shard's nodes and a private outbox; concatenating the outboxes
 	// in shard order yields the messages in sender-ID order no matter how
 	// many workers ran.
+	phaseStart := time.Now()
 	workers := e.workers
 	if workers > len(live) {
 		workers = len(live)
@@ -469,6 +488,9 @@ func (e *Engine) RunCycle() bool {
 	for w := range outs {
 		e.evals += outs[w].evals
 	}
+	now := time.Now()
+	e.proposeNanos += now.Sub(phaseStart).Nanoseconds()
+	phaseStart = now
 
 	// Phase 2: deterministic parallel apply. Move the outbox messages into
 	// the canonical list, shuffle into the cycle's canonical delivery
@@ -497,6 +519,7 @@ func (e *Engine) RunCycle() bool {
 		round = next
 	}
 	e.releaseApplyScratch(outs, depth)
+	e.applyNanos += time.Since(phaseStart).Nanoseconds()
 
 	e.cycle++
 	cont := true
@@ -505,6 +528,7 @@ func (e *Engine) RunCycle() bool {
 			cont = false
 		}
 	}
+	e.publishStats()
 	return cont
 }
 
@@ -569,6 +593,7 @@ func (e *Engine) applyRound(round []Message) []followUp {
 	}
 	ctxs := e.applyCtxs[:workers]
 
+	e.applyRounds++
 	if workers == 1 {
 		// Single-worker fast path: classify and handle in one fused pass
 		// on the coordinator. Handlers cannot observe the counters or
@@ -578,12 +603,33 @@ func (e *Engine) applyRound(round []Message) []followUp {
 		ax.reset(e, e.cycle)
 		for i, m := range round {
 			if n, deliver := e.route(m); n != nil {
+				e.applyJobs++
 				dispatch(n, ax, m, i, deliver)
 			}
 		}
 	} else {
 		e.shardRound(round, workers)
 		buckets := e.applyBuckets[:workers]
+		// Per-round shard-load spread (min/mean/max worker load),
+		// accumulated before the workers run: a skewed assignment —
+		// idmod under hotspot traffic — shows up directly as
+		// max >> mean in the Stats snapshot.
+		minLoad, maxLoad, jobs := len(buckets[0]), len(buckets[0]), 0
+		for w := range buckets {
+			l := len(buckets[w])
+			jobs += l
+			if l < minLoad {
+				minLoad = l
+			}
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		e.applyJobs += int64(jobs)
+		e.shardedRounds++
+		e.shardMinSum += int64(minLoad)
+		e.shardMaxSum += int64(maxLoad)
+		e.shardMeanSum += float64(jobs) / float64(workers)
 		e.pool.run(workers, func(w int) {
 			ax := &ctxs[w]
 			ax.reset(e, e.cycle)

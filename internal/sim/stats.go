@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Engine instrumentation. Every counter here is accumulated in plain
+// coordinator-owned fields on the hot path (no atomics, no locks, no
+// allocations — the disabled-looking path IS the enabled path) and
+// published to an atomic snapshot once per cycle, at the end of RunCycle.
+// Engine.Stats reads only the atomic snapshot, so it is safe to call from
+// any goroutine concurrently with RunCycle; the values it returns are
+// those of the last completed cycle. Nothing in this file touches an RNG
+// stream or the metric byte stream: traces are bit-identical with the
+// instrumentation read or ignored (pinned by the invariance tests in
+// cmd/scenario and by TestStatsStreamWorkerInvariance in
+// internal/scenario).
+
+// EngineStats is a point-in-time snapshot of the cycle engine's
+// instrumentation counters, taken at a cycle boundary. All duration and
+// load counters are cumulative over the engine's lifetime; rates per
+// cycle divide by Cycles.
+type EngineStats struct {
+	// Cycles is the number of completed cycles.
+	Cycles int64 `json:"cycles"`
+	// Delivered counts apply-phase messages delivered to a live,
+	// reachable destination, reply legs included.
+	Delivered int64 `json:"delivered"`
+	// Dropped counts apply-phase messages lost to a dead destination or
+	// the delivery filter (partitions), reply legs included.
+	Dropped int64 `json:"dropped"`
+	// Evals is the engine-maintained objective-evaluation count.
+	Evals int64 `json:"evals"`
+	// ProposeNanos is the cumulative wall time of the parallel propose
+	// phase (worker launch through the eval-count barrier).
+	ProposeNanos int64 `json:"propose_ns"`
+	// ApplyNanos is the cumulative wall time of the apply phase: the
+	// canonical shuffle, every delivery round, and the end-of-cycle
+	// payload recycling.
+	ApplyNanos int64 `json:"apply_ns"`
+	// ApplyRounds is the total number of apply rounds executed (a cycle
+	// runs one round per follow-up depth: request legs, then replies...).
+	ApplyRounds int64 `json:"apply_rounds"`
+	// ApplyJobs is the total number of routed apply jobs handled — every
+	// delivered message plus every undeliverable bounced to a live
+	// sender. Messages with no handling node at all are excluded.
+	ApplyJobs int64 `json:"apply_jobs"`
+	// ShardedRounds counts the apply rounds that ran on more than one
+	// worker; the Shard* load counters below accumulate over exactly
+	// these rounds (the single-worker fused path never shards).
+	ShardedRounds int64 `json:"sharded_rounds"`
+	// ShardMinLoad / ShardMaxLoad / ShardMeanLoad accumulate, per sharded
+	// round, the smallest, largest and mean per-worker job load. Their
+	// per-round averages — and the ShardSkew ratio — expose how evenly
+	// the bin-packed (or, with the idmod hook, residue-class) sharding
+	// spread the round's work.
+	ShardMinLoad  int64   `json:"shard_min_load"`
+	ShardMaxLoad  int64   `json:"shard_max_load"`
+	ShardMeanLoad float64 `json:"shard_mean_load"`
+	// LiveRebuilds counts lazy live-index rebuilds: one arena scan each,
+	// triggered by the first live-population read after a Crash/Revive.
+	LiveRebuilds int64 `json:"live_rebuilds"`
+	// PoolTasks counts jobs submitted to the persistent worker pool
+	// (shard 0 runs on the coordinator and is not counted). It grows by
+	// workers-1 per parallel phase or sharded round; a single-worker
+	// engine keeps it at zero.
+	PoolTasks int64 `json:"pool_tasks"`
+	// FreeListHits / FreeListMisses are the payload free-list counters.
+	// They are process-global (free lists are shared package-level pools,
+	// see freelist.go) and only move while EnableFreeListStats is on.
+	FreeListHits   int64 `json:"freelist_hits"`
+	FreeListMisses int64 `json:"freelist_misses"`
+}
+
+// ShardSkew is the load-imbalance ratio of the sharded apply rounds: the
+// accumulated per-round maximum worker load over the accumulated
+// per-round mean. 1.0 is a perfectly even spread; the historical ID-mod
+// sharding showed multiples of that under hotspot traffic where the
+// balanced bin-pack stays near 1. Returns 1 when no round was sharded.
+func (s EngineStats) ShardSkew() float64 {
+	if s.ShardMeanLoad <= 0 {
+		return 1
+	}
+	return float64(s.ShardMaxLoad) / s.ShardMeanLoad
+}
+
+// FreeListHitRate is the fraction of free-list Gets served by a recycled
+// payload rather than a fresh allocation. Returns 0 when no Gets were
+// counted (EnableFreeListStats off, or no recycling protocols in play).
+func (s EngineStats) FreeListHitRate() float64 {
+	total := s.FreeListHits + s.FreeListMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FreeListHits) / float64(total)
+}
+
+// engineStats is the published snapshot: atomics written by the
+// coordinator in publishStats, read by Stats from any goroutine. The
+// float accumulator travels as its IEEE bits.
+type engineStats struct {
+	cycles, delivered, dropped, evals atomic.Int64
+	proposeNanos, applyNanos          atomic.Int64
+	applyRounds, applyJobs            atomic.Int64
+	shardedRounds, shardMin, shardMax atomic.Int64
+	shardMeanBits                     atomic.Uint64
+	liveRebuilds, poolTasks           atomic.Int64
+}
+
+// publishStats copies the coordinator-owned accumulators into the atomic
+// snapshot. Called once per cycle, at the end of RunCycle — a dozen
+// uncontended stores, so the instrumentation's steady-state cost is
+// independent of population and message volume.
+func (e *Engine) publishStats() {
+	s := &e.stats
+	s.cycles.Store(e.cycle)
+	s.delivered.Store(e.delivered)
+	s.dropped.Store(e.dropped)
+	s.evals.Store(e.evals)
+	s.proposeNanos.Store(e.proposeNanos)
+	s.applyNanos.Store(e.applyNanos)
+	s.applyRounds.Store(e.applyRounds)
+	s.applyJobs.Store(e.applyJobs)
+	s.shardedRounds.Store(e.shardedRounds)
+	s.shardMin.Store(e.shardMinSum)
+	s.shardMax.Store(e.shardMaxSum)
+	s.shardMeanBits.Store(math.Float64bits(e.shardMeanSum))
+	s.liveRebuilds.Store(e.liveRebuilds)
+	s.poolTasks.Store(e.pool.submitted)
+}
+
+// Stats returns the engine's instrumentation snapshot as of the last
+// completed cycle. Safe to call from any goroutine, concurrently with
+// RunCycle; it allocates nothing and never perturbs a run (no RNG, no
+// lock shared with the hot path).
+func (e *Engine) Stats() EngineStats {
+	s := &e.stats
+	hits, misses := FreeListStats()
+	return EngineStats{
+		Cycles:         s.cycles.Load(),
+		Delivered:      s.delivered.Load(),
+		Dropped:        s.dropped.Load(),
+		Evals:          s.evals.Load(),
+		ProposeNanos:   s.proposeNanos.Load(),
+		ApplyNanos:     s.applyNanos.Load(),
+		ApplyRounds:    s.applyRounds.Load(),
+		ApplyJobs:      s.applyJobs.Load(),
+		ShardedRounds:  s.shardedRounds.Load(),
+		ShardMinLoad:   s.shardMin.Load(),
+		ShardMaxLoad:   s.shardMax.Load(),
+		ShardMeanLoad:  math.Float64frombits(s.shardMeanBits.Load()),
+		LiveRebuilds:   s.liveRebuilds.Load(),
+		PoolTasks:      s.poolTasks.Load(),
+		FreeListHits:   hits,
+		FreeListMisses: misses,
+	}
+}

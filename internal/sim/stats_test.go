@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// quietProto proposes nothing and receives nothing: a protocol whose
+// cycles are pure engine overhead, used to pin the instrumentation's
+// steady-state allocation cost.
+type quietProto struct{}
+
+func (quietProto) Propose(n *Node, px *Proposals) {}
+
+func (quietProto) Receive(n *Node, ax *ApplyContext, msg Message) {}
+
+// TestStatsMatchesAccessors pins the fold-in contract: the snapshot's
+// Cycles/Delivered/Dropped/Evals fields agree with the engine's
+// coordinator-side accessors, and the derived counters match what a ping
+// ring provably does (one apply round per cycle, one routed job per
+// delivered message, no sharding on a single worker).
+func TestStatsMatchesAccessors(t *testing.T) {
+	e, _ := buildPingRing(11, 32, 1)
+	defer e.Close()
+	e.Crash(3) // some bounced sends so Delivered != ApplyJobs trivially
+	e.Run(10)
+
+	s := e.Stats()
+	if s.Cycles != e.Cycle() || s.Delivered != e.Delivered() || s.Dropped != e.Dropped() || s.Evals != e.Evals() {
+		t.Fatalf("snapshot disagrees with accessors: %+v vs cycle=%d delivered=%d dropped=%d evals=%d",
+			s, e.Cycle(), e.Delivered(), e.Dropped(), e.Evals())
+	}
+	if s.ApplyRounds != s.Cycles {
+		t.Fatalf("ping ring has no follow-ups, want ApplyRounds == Cycles, got %d vs %d", s.ApplyRounds, s.Cycles)
+	}
+	// Every message is either delivered or bounced to its live sender, so
+	// the fused path routes exactly Delivered+Dropped jobs here.
+	if s.ApplyJobs != s.Delivered+s.Dropped {
+		t.Fatalf("ApplyJobs = %d, want Delivered+Dropped = %d", s.ApplyJobs, s.Delivered+s.Dropped)
+	}
+	if s.ShardedRounds != 0 || s.ShardMinLoad != 0 || s.ShardMaxLoad != 0 || s.ShardMeanLoad != 0 {
+		t.Fatalf("single-worker engine recorded sharded rounds: %+v", s)
+	}
+	if s.PoolTasks != 0 {
+		t.Fatalf("single-worker engine submitted %d pool tasks", s.PoolTasks)
+	}
+	if got := s.ShardSkew(); got != 1 {
+		t.Fatalf("ShardSkew with no sharded rounds = %v, want 1", got)
+	}
+	if s.ProposeNanos < 0 || s.ApplyNanos < 0 {
+		t.Fatalf("negative phase times: %+v", s)
+	}
+}
+
+// TestStatsShardLoads drives the sharded apply path and checks the load
+// spread: a ping ring delivers exactly one message per node, so the greedy
+// bin-pack must spread 64 jobs perfectly across 4 workers — min = max =
+// mean = 16 every round, skew exactly 1.
+func TestStatsShardLoads(t *testing.T) {
+	e, _ := buildPingRing(12, 64, 1)
+	defer e.Close()
+	e.SetApplyWorkers(4)
+	const cycles = 8
+	e.Run(cycles)
+
+	s := e.Stats()
+	if s.ShardedRounds != cycles {
+		t.Fatalf("ShardedRounds = %d, want %d", s.ShardedRounds, cycles)
+	}
+	if s.ApplyJobs != 64*cycles {
+		t.Fatalf("ApplyJobs = %d, want %d", s.ApplyJobs, 64*cycles)
+	}
+	if want := int64(16 * cycles); s.ShardMinLoad != want || s.ShardMaxLoad != want {
+		t.Fatalf("uniform ring shard loads min=%d max=%d, want both %d", s.ShardMinLoad, s.ShardMaxLoad, want)
+	}
+	if s.ShardMeanLoad != 16*cycles {
+		t.Fatalf("ShardMeanLoad = %v, want %v", s.ShardMeanLoad, 16*cycles)
+	}
+	if got := s.ShardSkew(); got != 1 {
+		t.Fatalf("ShardSkew = %v, want exactly 1 on a uniform ring", got)
+	}
+	// Three pool submissions per sharded round (shard 0 stays on the
+	// coordinator; propose runs single-worker here).
+	if want := int64(3 * cycles); s.PoolTasks != want {
+		t.Fatalf("PoolTasks = %d, want %d", s.PoolTasks, want)
+	}
+}
+
+// TestStatsSkewUnderIDModSharding checks that the skew counters actually
+// expose imbalance: hotspot traffic (everyone pings node 0) under the
+// residue-class idmod hook lands entirely on one worker, so max load is
+// the whole round and skew is the worker count.
+func TestStatsSkewUnderIDModSharding(t *testing.T) {
+	const n, workers, cycles = 64, 4, 5
+	e := NewEngine(13)
+	defer e.Close()
+	e.SetApplyWorkers(workers)
+	e.idModSharding = true
+	e.SetNodeFactory(func(nd *Node) {
+		nd.Protocols = []Protocol{&pingProto{next: 0}}
+	})
+	e.AddNodes(n)
+	e.Run(cycles)
+
+	s := e.Stats()
+	if s.ShardMinLoad != 0 {
+		t.Fatalf("hotspot idmod min load = %d, want 0 (idle workers)", s.ShardMinLoad)
+	}
+	if want := int64(n * cycles); s.ShardMaxLoad != want {
+		t.Fatalf("hotspot idmod max load = %d, want %d (all on one worker)", s.ShardMaxLoad, want)
+	}
+	if got := s.ShardSkew(); got != workers {
+		t.Fatalf("hotspot idmod ShardSkew = %v, want %v", got, float64(workers))
+	}
+}
+
+// TestStatsRaceWithRunCycle reads snapshots from a spectator goroutine
+// while the coordinator runs cycles — the race-safety contract of Stats,
+// meaningful under -race. Monotonicity of the cycle counter doubles as a
+// cheap sanity check that the spectator sees published values only.
+func TestStatsRaceWithRunCycle(t *testing.T) {
+	e, _ := buildPingRing(14, 128, 2)
+	defer e.Close()
+	e.SetApplyWorkers(2)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last int64
+		for {
+			s := e.Stats()
+			if s.Cycles < last {
+				t.Errorf("cycle counter went backwards: %d after %d", s.Cycles, last)
+				return
+			}
+			last = s.Cycles
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	e.Run(50)
+	close(done)
+	wg.Wait()
+
+	if s := e.Stats(); s.Cycles != 50 {
+		t.Fatalf("final snapshot Cycles = %d, want 50", s.Cycles)
+	}
+}
+
+// TestStatsLiveRebuilds checks the lazy live-index rebuild counter: a
+// churn-free population never rebuilds (AddNode maintains the index
+// incrementally), and each Crash dirties the index for exactly one rebuild
+// at the next live-population read.
+func TestStatsLiveRebuilds(t *testing.T) {
+	e, _ := buildPingRing(15, 16, 1)
+	defer e.Close()
+	e.Run(5)
+	if got := e.Stats().LiveRebuilds; got != 0 {
+		t.Fatalf("churn-free run rebuilt the live index %d times, want 0", got)
+	}
+	e.Crash(2)
+	e.Run(5)
+	if got := e.Stats().LiveRebuilds; got != 1 {
+		t.Fatalf("one crash, want exactly one rebuild: got %d", got)
+	}
+}
+
+// TestFreeListStatsCounting exercises the opt-in process-global free-list
+// counters with delta assertions (other tests in the binary share the
+// package-level pools, so absolute values are meaningless).
+func TestFreeListStatsCounting(t *testing.T) {
+	type payload struct{ buf []int }
+	var fl FreeList[payload]
+
+	EnableFreeListStats(true)
+	defer EnableFreeListStats(false)
+
+	h0, m0 := FreeListStats()
+	p := fl.Get() // empty list: miss
+	fl.Put(p)
+	q := fl.Get() // just recycled: hit (sync.Pool keeps it, single goroutine, no GC)
+	h1, m1 := FreeListStats()
+	if m1-m0 < 1 {
+		t.Fatalf("miss counter did not move: %d -> %d", m0, m1)
+	}
+	if h1-h0 < 1 {
+		t.Fatalf("hit counter did not move: %d -> %d (got %p back)", h0, h1, q)
+	}
+
+	EnableFreeListStats(false)
+	h2, m2 := FreeListStats()
+	fl.Put(q)
+	fl.Get()
+	h3, m3 := FreeListStats()
+	if h3 != h2 || m3 != m2 {
+		t.Fatalf("counters moved while disabled: hits %d -> %d, misses %d -> %d", h2, h3, m2, m3)
+	}
+}
+
+// TestStatsSteadyStateAllocs pins the instrumentation's allocation cost on
+// the disabled path (no Stats readers, free-list counting off): a warmed-up
+// quiet cycle performs exactly one allocation — the canonical-shuffle
+// closure, which predates the instrumentation — and Stats itself allocates
+// nothing. The repo-level budget in scripts/alloc_budget.txt pins the
+// protocol-bearing path against the seed.
+func TestStatsSteadyStateAllocs(t *testing.T) {
+	e := NewEngine(16)
+	defer e.Close()
+	e.SetNodeFactory(func(nd *Node) { nd.Protocols = []Protocol{quietProto{}} })
+	e.AddNodes(128)
+	e.Run(5) // warm the scratch buffers
+
+	if got := testing.AllocsPerRun(100, func() { e.RunCycle() }); got > 1 {
+		t.Fatalf("quiet steady-state RunCycle allocates %v times, want <= 1", got)
+	}
+	if got := testing.AllocsPerRun(100, func() { _ = e.Stats() }); got != 0 {
+		t.Fatalf("Stats allocates %v times, want 0", got)
+	}
+}

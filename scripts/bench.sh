@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Runs the engine-scale benchmark suite (million-node stack, apply-shard
 # scaling, hotspot sharding, live-node sampling) and records the parsed
-# results as JSON in BENCH_6.json, alongside the machine context needed to
+# results as JSON in BENCH_7.json, alongside the machine context needed to
 # read the numbers honestly (CPU count in particular: worker speedups only
-# show in wall-clock with real cores).
+# show in wall-clock with real cores). Since BENCH_7 the engine-scale
+# benchmarks also report per-phase wall times (propose-ns/op, apply-ns/op)
+# from the engine's instrumentation snapshot, so a scaling anomaly can be
+# attributed to a phase instead of guessed at.
 #
 # Overrides:
 #   ENGINE_BENCH_NODES  population for BenchmarkEngineMillion (default 1e6)
 #   BENCHTIME           go test -benchtime value (default 2x)
-#   BENCH_OUT           output path (default BENCH_6.json)
+#   BENCH_OUT           output path (default BENCH_7.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_6.json}
+OUT=${BENCH_OUT:-BENCH_7.json}
 NODES=${ENGINE_BENCH_NODES:-1000000}
 BENCHTIME=${BENCHTIME:-2x}
 
@@ -44,6 +47,8 @@ go test ./internal/sim/ -run '^$' \
                 u = $(i + 1)
                 if (u == "ns/op")          line = line sprintf(",\"ns_per_op\":%s", $i)
                 else if (u == "node-cycles/s") line = line sprintf(",\"node_cycles_per_s\":%s", $i)
+                else if (u == "propose-ns/op") line = line sprintf(",\"propose_ns_per_op\":%s", $i)
+                else if (u == "apply-ns/op")   line = line sprintf(",\"apply_ns_per_op\":%s", $i)
                 else if (u == "B/op")      line = line sprintf(",\"bytes_per_op\":%s", $i)
                 else if (u == "allocs/op") line = line sprintf(",\"allocs_per_op\":%s", $i)
             }
