@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSimcheck compiles the vettool binary into a temp dir.
+func buildSimcheck(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "simcheck")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building simcheck: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolProtocol drives the built binary exactly as CI does: `go vet
+// -vettool=simcheck` over the whole module must pass clean.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and vets the module")
+	}
+	bin := buildSimcheck(t)
+
+	// The protocol handshake the go command performs first.
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "simcheck version ") {
+		t.Fatalf("-V=full output %q lacks the 'simcheck version ' prefix the go command parses", out)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "../.."
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, buf.String())
+	}
+}
+
+// TestStandaloneMode runs the binary's own loader over the module.
+func TestStandaloneMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and analyzes the module")
+	}
+	bin := buildSimcheck(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("standalone simcheck failed: %v\n%s", err, out)
+	}
+}

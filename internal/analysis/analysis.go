@@ -1,0 +1,230 @@
+// Package analysis is the project's static-analysis suite: four analyzers
+// that mechanize the invariants every PR since the seed has leaned on —
+// byte-identical traces across the whole (propose × apply) worker grid,
+// node-local apply handlers, sent-exactly-once payload ownership, and the
+// strict-spectator rule for the observability layer. The golden files catch
+// a violation after the fact; these analyzers catch it at vet time, before
+// a contract drift becomes a cross-machine divergence in a distributed
+// backend.
+//
+// The suite is built on the standard library alone (go/ast + go/types): the
+// framework here mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer with a Run function over a Pass — without depending on it,
+// and cmd/simcheck speaks `go vet -vettool` unitchecker protocol so CI
+// enforces the contracts on every build.
+//
+// # Waivers
+//
+// A legitimate violation site (the stats wall-clock timings in
+// Engine.RunCycle, for example) is waived in place:
+//
+//	//simcheck:allow determinism stats wall-times never reach the trace
+//
+// The comment names the analyzer and must carry a non-empty reason; it
+// applies to its own line and to the line directly below it. A waiver with
+// no reason, naming an unknown analyzer, or suppressing nothing is itself
+// reported, so the waiver set stays exact: every waiver in the tree is
+// explained and load-bearing.
+//
+// Test files (*_test.go) are exempt from all analyzers: the contracts
+// govern code that can reach an engine trace, and tests exercise engines
+// through the public API where the engine enforces ordering itself.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check of the suite. Run inspects a type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //simcheck:allow waiver comments.
+	Name string
+	// Doc is a one-paragraph description of the rule.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	// Fset maps token positions of Files.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's object resolution and expression types.
+	Info *types.Info
+
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Diagnostic is one analyzer finding, resolved to a file position.
+type Diagnostic struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Pos is the finding's resolved source position.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// waiverPrefix introduces a waiver comment. The full syntax is
+// "//simcheck:allow <analyzer> <reason>"; see the package comment.
+const waiverPrefix = "//simcheck:allow"
+
+// waiver is one parsed //simcheck:allow comment.
+type waiver struct {
+	pos      token.Position // of the comment itself
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// All returns the full suite in a fixed order: determinism, nodelocal,
+// ownership, spectator.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, NodeLocal, Ownership, Spectator}
+}
+
+// knownAnalyzer reports whether name belongs to the suite — waivers naming
+// anything else are typos and get reported.
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers runs the given analyzers over one type-checked package and
+// returns the surviving diagnostics sorted by position: raw findings minus
+// waived ones, plus waiver-hygiene findings (missing reason, unknown
+// analyzer, waiver that suppressed nothing). Findings positioned in
+// *_test.go files are dropped (see the package comment).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	waivers := collectWaivers(fset, files)
+	var out []Diagnostic
+
+	running := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}
+		pass.report = func(pos token.Pos, msg string) {
+			p := fset.Position(pos)
+			if strings.HasSuffix(p.Filename, "_test.go") {
+				return
+			}
+			if w := waivers.lookup(name, p); w != nil {
+				w.used = true
+				return
+			}
+			out = append(out, Diagnostic{Analyzer: name, Pos: p, Message: msg})
+		}
+		a.Run(pass)
+	}
+
+	// Waiver hygiene: malformed waivers always get reported; an unused
+	// waiver is only a finding when its analyzer actually ran (a fixture
+	// running one analyzer must not complain about the others' waivers).
+	for _, w := range waivers {
+		switch {
+		case w.analyzer == "":
+			out = append(out, Diagnostic{Analyzer: "waiver", Pos: w.pos,
+				Message: "simcheck:allow must name an analyzer: //simcheck:allow <analyzer> <reason>"})
+		case !knownAnalyzer(w.analyzer):
+			out = append(out, Diagnostic{Analyzer: "waiver", Pos: w.pos,
+				Message: fmt.Sprintf("simcheck:allow names unknown analyzer %q", w.analyzer)})
+		case w.reason == "":
+			out = append(out, Diagnostic{Analyzer: "waiver", Pos: w.pos,
+				Message: fmt.Sprintf("simcheck:allow %s needs a reason: every waiver documents why the site is safe", w.analyzer)})
+		case !w.used && running[w.analyzer]:
+			out = append(out, Diagnostic{Analyzer: "waiver", Pos: w.pos,
+				Message: fmt.Sprintf("unused simcheck:allow %s waiver: the analyzer reports nothing here", w.analyzer)})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// collectWaivers parses every //simcheck:allow comment in the files.
+func collectWaivers(fset *token.FileSet, files []*ast.File) waiverList {
+	var list waiverList
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //simcheck:allowance — not a waiver
+				}
+				fields := strings.Fields(rest)
+				w := &waiver{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					w.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					w.reason = strings.Join(fields[1:], " ")
+				}
+				list = append(list, w)
+			}
+		}
+	}
+	return list
+}
+
+// waiverList holds a file set's waivers and builds the line-indexed lookup
+// table on demand.
+type waiverList []*waiver
+
+// lookup finds a waiver by analyzer covering the given position: a waiver
+// applies to its own line (trailing comment) and to the line directly
+// below it (comment above the flagged statement).
+func (l waiverList) lookup(analyzer string, pos token.Position) *waiver {
+	for _, w := range l {
+		if w.analyzer != analyzer || w.reason == "" {
+			continue
+		}
+		if w.pos.Filename == pos.Filename && (w.pos.Line == pos.Line || w.pos.Line == pos.Line-1) {
+			return w
+		}
+	}
+	return nil
+}

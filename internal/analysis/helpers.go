@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type helpers for the analyzers.
+
+// calleeFunc resolves the function or method a call expression invokes, or
+// nil for builtins, conversions and dynamic calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeBuiltin returns the name of the builtin a call invokes ("append",
+// "delete", ...), or "" when the call is not a builtin.
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// rootIdent walks to the base identifier of a selector/index/star/paren
+// chain (x in x.a.b[i]), or nil when the base is not an identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedTypeIn reports whether t is the named type (or pointer to it) with
+// the given base name declared in a package whose name is pkgName. It sees
+// through pointers but not further composition.
+func namedTypeIn(t types.Type, pkgName, typeName string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// pkgPathContains reports whether the import path contains any of the
+// given fragments.
+func pkgPathContains(path string, fragments ...string) bool {
+	for _, f := range fragments {
+		if strings.Contains(path, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPackageLevel reports whether obj is declared at package scope of pkg.
+func isPackageLevel(obj types.Object, pkg *types.Package) bool {
+	return obj != nil && obj.Pkg() == pkg && obj.Parent() == pkg.Scope()
+}
+
+// isIntegerType reports whether t's underlying type is an integer kind
+// (accumulating with += / |= / ... over an unordered iteration is
+// order-independent for integers, never for floats or strings).
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

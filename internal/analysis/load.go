@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+)
+
+// Package loading for the in-repo drivers: the tree-wide test and the
+// standalone mode of cmd/simcheck. Metadata comes from `go list -export
+// -deps -json`, which also yields a gc export-data file for every
+// dependency (standard library included), so target packages are parsed
+// and type-checked from source while their imports resolve through the
+// compiler's own export files — the same scheme `go vet` uses, with no
+// dependency outside the standard library and the go tool itself.
+
+// Package is one parsed, type-checked package ready for RunAnalyzers.
+type Package struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed sources (non-test: `go list` GoFiles).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds type information for every expression in Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over the patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports through gc export-data files, honoring
+// the per-package ImportMap (vendoring / test-variant remapping).
+type exportImporter struct {
+	compiler  types.Importer
+	importMap map[string]string
+}
+
+// Import implements types.Importer.
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := ei.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.compiler.Import(path)
+}
+
+// Load lists the patterns in dir (a module directory), then parses and
+// type-checks every matched package. Dependencies — matched or not — are
+// resolved from the gc export data `go list -export` produced, so loading
+// a handful of packages does not type-check the world from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	compiler := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := typecheck(fset, p.ImportPath, files, &exportImporter{compiler: compiler, importMap: p.ImportMap})
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{ImportPath: p.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// typecheck runs the type checker over one package's files with a fully
+// populated types.Info.
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// fixtureLoader loads analyzer test fixtures from a GOPATH-style source
+// tree (root/<importpath>/*.go). Fixture imports resolve within the tree
+// first — so a fixture can model the sim package and a protocol package
+// importing it — and fall back to gc export data for the standard library,
+// obtained from one `go list -export -deps` over the std imports the
+// fixture tree mentions.
+type fixtureLoader struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// LoadFixture loads the fixture package at importPath below root (along
+// with any fixture packages it imports) and returns it ready for
+// RunAnalyzers. Used by the analyzer tests; exported so cmd/simcheck's
+// tests can drive the same fixtures.
+func LoadFixture(root, importPath string) (*Package, error) {
+	l := &fixtureLoader{root: root, fset: token.NewFileSet(), cache: map[string]*Package{}}
+	stdImports, err := l.scanStdImports(importPath, map[string]bool{})
+	if err != nil {
+		return nil, err
+	}
+	if len(stdImports) > 0 {
+		listed, err := goList(root, stdImports)
+		if err != nil {
+			return nil, err
+		}
+		exports := make(map[string]string, len(listed))
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+		l.std = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	}
+	return l.load(importPath)
+}
+
+// isFixturePath reports whether the import resolves inside the fixture
+// tree.
+func (l *fixtureLoader) isFixturePath(path string) bool {
+	st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// scanStdImports walks the fixture import graph and collects every import
+// that is not itself a fixture package.
+func (l *fixtureLoader) scanStdImports(path string, seen map[string]bool) ([]string, error) {
+	if seen[path] {
+		return nil, nil
+	}
+	seen[path] = true
+	files, err := l.parseDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var std []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.isFixturePath(p) {
+				sub, err := l.scanStdImports(p, seen)
+				if err != nil {
+					return nil, err
+				}
+				std = append(std, sub...)
+			} else if !seen[p] {
+				seen[p] = true
+				std = append(std, p)
+			}
+		}
+	}
+	return std, nil
+}
+
+// parseDir parses every .go file of the fixture package at importPath.
+func (l *fixtureLoader) parseDir(importPath string) ([]*ast.File, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files in %s", importPath, dir)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer over the fixture tree with std
+// fallback.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isFixturePath(path) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if l.std == nil {
+		return nil, fmt.Errorf("fixture import %q: no std importer", path)
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one fixture package, memoized.
+func (l *fixtureLoader) load(importPath string) (*Package, error) {
+	if p, ok := l.cache[importPath]; ok {
+		return p, nil
+	}
+	files, err := l.parseDir(importPath)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := typecheck(l.fset, importPath, files, l)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", importPath, err)
+	}
+	p := &Package{ImportPath: importPath, Fset: l.fset, Files: files, Types: pkg, Info: info}
+	l.cache[importPath] = p
+	return p, nil
+}

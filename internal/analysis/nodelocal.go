@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The node-local apply contract (PR 5): a phase-2 handler — any method
+// with the Receiver/Undeliverable shape, and a phase-1 Propose — runs on a
+// parallel worker that owns exactly one node. It may touch its receiver
+// protocol instance, the handled node, the restricted context
+// (ApplyContext / Proposals), its own RNG and the message payload. It must
+// not reach the engine (that is what ApplyContext deliberately hides),
+// dereference another *Node (another worker may own it), or write
+// package-level state (a cross-worker race and an ordering leak in one).
+//
+// Detection is structural: any function with a *sim.ApplyContext or
+// *sim.Proposals parameter is a handler (the types are matched by name and
+// defining-package name, so fixtures can model them). The package that
+// defines ApplyContext — the engine itself — is exempt: its plumbing is
+// the trusted side of the contract.
+//
+// Reads of package-level variables stay legal: the payload free lists are
+// exactly that, shared pools with internally synchronized Get/Put. The
+// analyzer bans writes (assignment, ++/--) whose target resolves to
+// package scope.
+
+// NodeLocal enforces the node-local handler contract on every function
+// taking an ApplyContext or Proposals parameter.
+var NodeLocal = &Analyzer{
+	Name: "nodelocal",
+	Doc: "flags apply/propose handlers that reach the engine, another node, " +
+		"or package-level state instead of staying node-local",
+	Run: runNodeLocal,
+}
+
+// simPackageName is the package name (not path) defining the engine types
+// the analyzer matches structurally.
+const simPackageName = "sim"
+
+func runNodeLocal(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLegacyShape(pass, fd)
+			h := classifyHandler(pass, fd)
+			if h == nil {
+				continue
+			}
+			h.check(fd)
+		}
+	}
+}
+
+// checkLegacyShape flags the pre-sharding handler signature: a method named
+// Receive/Undelivered/Propose taking the whole *Engine. The interfaces are
+// matched dynamically (sim.Protocol is untyped), so such a method still
+// compiles — it just silently stops matching sim.Receiver and the protocol
+// goes deaf. This subsumes the grep-guard the sim package used to carry.
+func checkLegacyShape(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil {
+		return
+	}
+	switch fd.Name.Name {
+	case "Receive", "Undelivered", "Propose":
+	default:
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !namedTypeIn(tv.Type, simPackageName, "Engine") || definedHere(pass, tv.Type) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(), "legacy handler shape: %s takes *Engine and will not match the Receiver/Undeliverable/Proposer contracts; take the restricted context instead", fd.Name.Name)
+		return
+	}
+}
+
+// handler is one matched handler function under analysis.
+type handler struct {
+	pass *Pass
+	kind string // "apply" or "propose"
+	// allowedNodes are objects legitimately holding the handled node:
+	// every *Node parameter plus locals derived from them.
+	allowedNodes map[types.Object]bool
+}
+
+// classifyHandler matches fd against the handler shapes: a *ApplyContext
+// parameter (apply-phase Receive/Undelivered) or a *Proposals parameter
+// (propose phase). Functions in the package defining ApplyContext are the
+// engine's own plumbing and exempt.
+func classifyHandler(pass *Pass, fd *ast.FuncDecl) *handler {
+	var kind string
+	allowed := map[types.Object]bool{}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		switch {
+		case namedTypeIn(tv.Type, simPackageName, "ApplyContext"):
+			kind = "apply"
+			if definedHere(pass, tv.Type) {
+				return nil
+			}
+		case namedTypeIn(tv.Type, simPackageName, "Proposals"):
+			kind = "propose"
+			if definedHere(pass, tv.Type) {
+				return nil
+			}
+		case namedTypeIn(tv.Type, simPackageName, "Node"):
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					allowed[obj] = true
+				}
+			}
+		}
+	}
+	if kind == "" {
+		return nil
+	}
+	return &handler{pass: pass, kind: kind, allowedNodes: allowed}
+}
+
+// definedHere reports whether the named type (or pointee) is declared in
+// the package under analysis.
+func definedHere(pass *Pass, t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Pkg() == pass.Pkg
+	}
+	return false
+}
+
+// check runs the three handler rules over the body.
+func (h *handler) check(fd *ast.FuncDecl) {
+	h.propagateNodeAliases(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			h.checkIdent(n)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				h.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			h.checkWrite(n.X)
+		case *ast.CallExpr:
+			h.checkCallResult(n)
+		}
+		return true
+	})
+}
+
+// propagateNodeAliases extends allowedNodes with locals assigned directly
+// from an allowed node object (`self := n`), iterating to a fixed point so
+// chains of aliases resolve regardless of statement order.
+func (h *handler) propagateNodeAliases(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rid, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				rObj := h.pass.Info.Uses[rid]
+				if rObj == nil || !h.allowedNodes[rObj] {
+					continue
+				}
+				lObj := h.pass.Info.Defs[lid]
+				if lObj == nil {
+					lObj = h.pass.Info.Uses[lid]
+				}
+				if lObj != nil && !h.allowedNodes[lObj] {
+					h.allowedNodes[lObj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkIdent flags engine references and foreign-node references.
+func (h *handler) checkIdent(id *ast.Ident) {
+	obj := h.pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if _, isType := obj.(*types.TypeName); isType {
+		return // naming the type (conversion, assertion) touches nothing
+	}
+	t := obj.Type()
+	if namedTypeIn(t, simPackageName, "Engine") {
+		h.pass.Reportf(id.Pos(), "%s handler references the engine (%s): handlers are node-local and see only their node and the %s context", h.kind, id.Name, h.kind)
+		return
+	}
+	if namedTypeIn(t, simPackageName, "Node") && !h.allowedNodes[obj] {
+		h.pass.Reportf(id.Pos(), "%s handler touches a node other than its own (%s): another worker may own it; exchange state via messages instead", h.kind, id.Name)
+	}
+}
+
+// checkWrite flags stores whose target resolves to package-level state —
+// in this package or, through a qualified identifier, any other.
+func (h *handler) checkWrite(lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	var obj types.Object
+	var name string
+	if sel, ok := lhs.(*ast.SelectorExpr); ok {
+		if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if _, isPkg := h.pass.Info.Uses[x].(*types.PkgName); isPkg {
+				obj = h.pass.Info.Uses[sel.Sel]
+				name = x.Name + "." + sel.Sel.Name
+			}
+		}
+	}
+	if obj == nil {
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj = h.pass.Info.Uses[root]
+		if obj == nil {
+			obj = h.pass.Info.Defs[root]
+		}
+		name = root.Name
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		h.pass.Reportf(lhs.Pos(), "%s handler writes package-level state (%s): handlers run on parallel workers; shared writes race and leak ordering into the trace", h.kind, name)
+	}
+}
+
+// checkCallResult flags calls that yield a *Node: with the engine hidden,
+// obtaining a node the handler was not given means reaching across the
+// shard boundary.
+func (h *handler) checkCallResult(call *ast.CallExpr) {
+	tv, ok := h.pass.Info.Types[call]
+	if !ok || tv.IsType() {
+		return
+	}
+	if namedTypeIn(tv.Type, simPackageName, "Node") {
+		if _, isPtr := tv.Type.(*types.Pointer); isPtr {
+			h.pass.Reportf(call.Pos(), "%s handler obtains a *Node from a call: handlers may touch only the node they were invoked on", h.kind)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Payload ownership (PR 6): ownership of a payload transfers to the
+// receiver on Send — Proposals.Send in the propose phase, ApplyContext.Send
+// for reply legs — and the engine recycles every recyclable payload
+// exactly once at cycle end. The two ways to break that silently:
+//
+//   - use-after-send: the sender keeps reading (or worse, mutating) the
+//     payload it no longer owns — racing with the handler on another
+//     worker, or double-recycling by sending the same pointer twice;
+//   - a leaky Recycle: a pointer or slice field that Recycle does not
+//     reset pins the previous cycle's data (and anything it references)
+//     inside the free list, and a stale alias resurfaces in the next
+//     payload handed out.
+//
+// The analyzer tracks the sent value's local variable — including plain
+// aliases (`q := p`) — positionally: any use after the Send call in the
+// same function is flagged unless the variable was reassigned in between.
+// Scalar payloads (basic types) are exempt: value semantics make reuse
+// harmless. The Recycle rule requires every direct reference-typed field
+// (pointer, slice, map, chan, func, interface) of the receiver struct to
+// be assigned somewhere in the method body (nil, or s[:0] to keep warm
+// capacity), or the whole receiver to be reset with *r = T{}.
+var Ownership = &Analyzer{
+	Name: "ownership",
+	Doc: "flags payload use-after-send (sent-exactly-once contract) and " +
+		"Recycle methods that leave reference fields unreset",
+	Run: runOwnership,
+}
+
+func runOwnership(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkUseAfterSend(pass, fd)
+			checkRecycle(pass, fd)
+		}
+	}
+}
+
+// isPayloadSend matches ax.Send / px.Send calls (ApplyContext or Proposals
+// receiver, by name) and returns the payload argument.
+func isPayloadSend(pass *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" || len(call.Args) == 0 {
+		return nil, false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return nil, false
+	}
+	if !namedTypeIn(tv.Type, simPackageName, "ApplyContext") && !namedTypeIn(tv.Type, simPackageName, "Proposals") {
+		return nil, false
+	}
+	return call.Args[len(call.Args)-1], true
+}
+
+// checkUseAfterSend flags reads or writes of a sent payload variable (or
+// an alias of it) after the Send call.
+func checkUseAfterSend(pass *Pass, fd *ast.FuncDecl) {
+	type send struct {
+		end token.Pos
+		obj types.Object
+	}
+	var sends []send
+	aliases := map[types.Object]map[types.Object]bool{} // obj -> group (shared map)
+	group := func(o types.Object) map[types.Object]bool {
+		g, ok := aliases[o]
+		if !ok {
+			g = map[types.Object]bool{o: true}
+			aliases[o] = g
+		}
+		return g
+	}
+	// reassigned[obj] lists positions where the variable is wholesale
+	// replaced — a use after that point refers to a new payload.
+	reassigned := map[types.Object][]token.Pos{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if payload, ok := isPayloadSend(pass, n); ok {
+				if id := rootIdent(ast.Unparen(payload)); id != nil {
+					if obj := pass.Info.Uses[id]; obj != nil && trackedPayload(obj.Type()) {
+						sends = append(sends, send{end: n.End(), obj: obj})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lObj := pass.Info.Defs[lid]
+				if lObj == nil {
+					lObj = pass.Info.Uses[lid]
+				}
+				if lObj == nil {
+					continue
+				}
+				reassigned[lObj] = append(reassigned[lObj], lid.Pos())
+				// Alias tracking: `q := p` / `q = p` joins the groups.
+				if len(n.Rhs) == len(n.Lhs) {
+					if rid, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); ok {
+						if rObj := pass.Info.Uses[rid]; rObj != nil && trackedPayload(rObj.Type()) {
+							g := group(rObj)
+							for o := range group(lObj) {
+								g[o] = true
+								aliases[o] = g
+							}
+							aliases[lObj] = g
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(sends) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, s := range sends {
+			if id.Pos() <= s.end || !group(s.obj)[obj] {
+				continue
+			}
+			// A wholesale reassignment between the send and this use means
+			// the variable holds a fresh payload now.
+			renewed := false
+			for _, rp := range reassigned[obj] {
+				if rp > s.end && rp <= id.Pos() {
+					renewed = true
+					break
+				}
+			}
+			// Note `p = fresh` excuses its own LHS too: the LHS position is
+			// recorded as a reassignment at exactly id.Pos(), and a `:=`
+			// LHS never appears in Uses at all.
+			if renewed {
+				continue
+			}
+			pass.Reportf(id.Pos(), "payload %s used after Send: ownership transferred to the receiver (sent-exactly-once; a reused pointer double-recycles)", id.Name)
+			return true
+		}
+		return true
+	})
+}
+
+// trackedPayload reports whether a sent value of this type is worth
+// tracking: anything but a plain scalar (basic types have value semantics;
+// reusing them after send is harmless).
+func trackedPayload(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, basic := t.Underlying().(*types.Basic)
+	return !basic
+}
+
+// checkRecycle enforces the reset rule on Recycle methods: every direct
+// reference-typed field of the receiver struct must be assigned in the
+// body.
+func checkRecycle(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name != "Recycle" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return
+	}
+	if fd.Type.Params.NumFields() != 0 || fd.Type.Results.NumFields() != 0 {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	tv, ok := pass.Info.Types[recvField.Type]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	var recvObj types.Object
+	if len(recvField.Names) == 1 {
+		recvObj = pass.Info.Defs[recvField.Names[0]]
+	}
+	if recvObj == nil {
+		// Unnamed receiver cannot reset anything; report every reference
+		// field below via the empty assigned set.
+		recvObj = types.NewVar(token.NoPos, nil, "", t)
+	}
+
+	assigned := map[string]bool{}
+	fullReset := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			lhs = ast.Unparen(lhs)
+			if star, ok := lhs.(*ast.StarExpr); ok {
+				if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && pass.Info.Uses[id] == recvObj {
+					fullReset = true // *r = T{}
+				}
+				continue
+			}
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.Uses[id] == recvObj {
+					assigned[sel.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	if fullReset {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !referenceType(f.Type()) || assigned[f.Name()] {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(), "Recycle leaves reference field %s unreset: a recycled payload pins the previous cycle's %s (reset slices to [:0], nil everything else)", f.Name(), f.Name())
+	}
+}
+
+// referenceType reports whether values of t can alias other memory:
+// pointers, slices, maps, chans, funcs and interfaces.
+func referenceType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The strict-spectator contract (PR 7): the observability layer renders
+// progress and statistics without perturbing a run — no engine RNG draw,
+// no engine mutation, no lock shared with the hot path. Two code regions
+// carry the contract:
+//
+//   - the spectator packages (internal/obs): may hold engine references
+//     only to read — calling anything outside the read-only allowlist of
+//     Engine/Node methods, or writing through an Engine/Node-typed
+//     expression, is a violation;
+//   - the Stats() closure inside the engine package itself: Engine.Stats
+//     is documented as safe to call from any goroutine concurrently with
+//     RunCycle, so Stats and everything it reaches (same-package static
+//     calls) must only load — an assignment to engine or node state, an
+//     atomic Store/Add/Swap, or a channel send there is a data race
+//     shipped to every concurrent reader.
+var Spectator = &Analyzer{
+	Name: "spectator",
+	Doc: "flags engine/node mutation from the observability layer and from " +
+		"the Engine.Stats read path",
+	Run: runSpectator,
+}
+
+// spectatorPackageFragments marks the packages bound to the spectator
+// contract.
+var spectatorPackageFragments = []string{"internal/obs"}
+
+// readOnlyEngineMethods are the Engine methods a spectator may call: pure
+// counter/configuration reads. Notably absent: RNG (drawing from the
+// engine stream perturbs the trace), AddNode/Crash/Revive/RunCycle/Close
+// (mutations), Node (hands out mutable node state).
+var readOnlyEngineMethods = map[string]bool{
+	"Stats": true, "LiveCount": true, "Size": true, "Cycle": true,
+	"Evals": true, "Delivered": true, "Dropped": true,
+	"Workers": true, "ApplyWorkers": true, "String": true,
+}
+
+// readOnlyNodeMethods are the Node methods a spectator may call.
+var readOnlyNodeMethods = map[string]bool{"Protocol": true, "String": true}
+
+func runSpectator(pass *Pass) {
+	if pkgPathContains(pass.Pkg.Path(), spectatorPackageFragments...) {
+		for _, file := range pass.Files {
+			checkSpectatorRegion(pass, file, "spectator package")
+		}
+	}
+	checkStatsPath(pass)
+}
+
+// checkSpectatorRegion walks one region bound to the contract and flags
+// engine/node mutation.
+func checkSpectatorRegion(pass *Pass, root ast.Node, region string) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkSpectatorCall(pass, n, region)
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkSpectatorWrite(pass, lhs, region)
+			}
+		case *ast.IncDecStmt:
+			checkSpectatorWrite(pass, n.X, region)
+		case *ast.SendStmt:
+			// A channel send from the stats path can rendezvous with the
+			// hot loop; flag it in the Stats closure region only — the
+			// spectator packages use channels internally (progress
+			// ticker) without engine involvement.
+			if region != "spectator package" {
+				pass.Reportf(n.Pos(), "channel send on the %s: the read path must not rendezvous with the hot loop", region)
+			}
+		}
+		return true
+	})
+}
+
+// checkSpectatorCall flags method calls on Engine/Node values outside the
+// read-only allowlists, plus atomic mutation on the Stats path.
+func checkSpectatorCall(pass *Pass, call *ast.CallExpr, region string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if region != "spectator package" && isAtomicMutator(pass, sel) {
+		pass.Reportf(call.Pos(), "%s mutates an atomic (%s): Engine.Stats and its callees must only load", region, name)
+		return
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return
+	}
+	// On the Stats path the allowlist does not apply: same-package callees
+	// are followed by the BFS and judged by their bodies. In the spectator
+	// packages the allowlist is the whole contract.
+	switch {
+	case namedTypeIn(tv.Type, simPackageName, "Engine"):
+		if region == "spectator package" && !readOnlyEngineMethods[name] {
+			pass.Reportf(call.Pos(), "%s calls Engine.%s: spectators may only read (allowlist: Stats, LiveCount, Size, Cycle, Evals, Delivered, Dropped, Workers, ApplyWorkers, String)", region, name)
+		}
+	case namedTypeIn(tv.Type, simPackageName, "Node"):
+		if region == "spectator package" && !readOnlyNodeMethods[name] {
+			pass.Reportf(call.Pos(), "%s calls Node.%s: spectators may only read node state", region, name)
+		}
+	}
+}
+
+// isAtomicMutator recognizes mutating sync/atomic operations in both
+// spellings: methods on the atomic types (x.Store, x.Add, ...) and the
+// package-level functions (atomic.StoreInt64, atomic.AddUint32, ...).
+func isAtomicMutator(pass *Pass, sel *ast.SelectorExpr) bool {
+	if !atomicMutatorName(sel.Sel.Name) {
+		return false
+	}
+	if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[x].(*types.PkgName); ok {
+			return pn.Imported().Path() == "sync/atomic"
+		}
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicMutatorName matches the mutating operation names by prefix, which
+// covers the method forms exactly and the typed function forms
+// (StoreInt64, CompareAndSwapPointer, ...).
+func atomicMutatorName(name string) bool {
+	for _, p := range []string{"Store", "Add", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSpectatorWrite flags stores whose target reaches through an Engine-
+// or Node-typed expression anywhere along the selector chain — `e.cycles`,
+// `r.eng.Cycles`, `n.Alive` all count; overwriting a plain local pointer
+// variable does not.
+func checkSpectatorWrite(pass *Pass, lhs ast.Expr, region string) {
+	expr := ast.Unparen(lhs)
+	for {
+		var base ast.Expr
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			base = e.X
+		case *ast.IndexExpr:
+			base = e.X
+		case *ast.StarExpr:
+			base = e.X
+		default:
+			return
+		}
+		if tv, ok := pass.Info.Types[base]; ok {
+			if namedTypeIn(tv.Type, simPackageName, "Engine") {
+				pass.Reportf(lhs.Pos(), "%s writes engine state: the contract is read-only", region)
+				return
+			}
+			if namedTypeIn(tv.Type, simPackageName, "Node") {
+				pass.Reportf(lhs.Pos(), "%s writes node state: the contract is read-only", region)
+				return
+			}
+		}
+		expr = ast.Unparen(base)
+	}
+}
+
+// checkStatsPath applies the spectator rules to Engine.Stats and every
+// same-package function it (transitively, statically) calls — but only in
+// a package that actually defines an Engine with a Stats method (the sim
+// package or a fixture modeling it).
+func checkStatsPath(pass *Pass) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Recv != nil && fd.Name.Name == "Stats" && len(fd.Recv.List) == 1 {
+				if tv, ok := pass.Info.Types[fd.Recv.List[0].Type]; ok && namedTypeIn(tv.Type, simPackageName, "Engine") && pass.Pkg.Name() == simPackageName {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	// BFS over same-package static calls.
+	visited := map[*types.Func]bool{}
+	queue := roots
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		checkSpectatorRegion(pass, fd.Body, "Engine.Stats path")
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.Info, call); callee != nil && callee.Pkg() == pass.Pkg {
+				if _, hasBody := decls[callee]; hasBody && !visited[callee] {
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Package gossip is the determinism-analyzer fixture: its import path
+// contains "internal/gossip", so it counts as trace-affecting.
+package gossip
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+type table struct {
+	peers map[int64]float64
+}
+
+func touch(id int64) {}
+
+// Ambient sources are flagged outright.
+func ambient() {
+	_ = time.Now()        // want "time.Now"
+	_ = rand.Intn(4)      // want "process-global"
+	_ = os.Getenv("SEED") // want "os.Getenv"
+}
+
+// A waiver with analyzer and reason suppresses the finding.
+func waived() time.Time {
+	//simcheck:allow determinism boot banner timestamp never reaches the trace
+	return time.Now()
+}
+
+// Hygiene: a reasonless waiver suppresses nothing and is itself reported.
+func reasonless() {
+	// want+1 "needs a reason"
+	//simcheck:allow determinism
+	_ = time.Now() // want "time.Now"
+}
+
+// Hygiene: a waiver naming an unknown analyzer is a typo.
+func mistyped() {
+	// want+1 "unknown analyzer"
+	//simcheck:allow determinsm typo in the analyzer name
+	_ = 1
+}
+
+// Hygiene: a waiver that suppresses nothing is stale.
+func stale() {
+	// want+1 "unused simcheck:allow"
+	//simcheck:allow determinism nothing here needs waiving
+	x := 1
+	_ = x
+}
+
+// Float accumulation over map order drifts in the last ulp run to run.
+func sumFloats(t *table) float64 {
+	var total float64
+	for _, w := range t.peers {
+		total += w // want "non-integer accumulation"
+	}
+	return total
+}
+
+// Collecting keys without sorting leaks map order into whatever consumes
+// the slice.
+func collectNoSort(t *table) []int64 {
+	var ids []int64
+	for id := range t.peers { // want "without a subsequent sort"
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// The collect-then-sort idiom is the approved fix.
+func collectThenSort(t *table) []int64 {
+	var ids []int64
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// A waiver on the range line covers an append the analyzer cannot prove
+// sorted.
+func collectWaived(t *table) []int64 {
+	var ids []int64
+	//simcheck:allow determinism consumer treats ids as an unordered set
+	for id := range t.peers {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Integer counting, constant flag stores and blank discards are
+// order-insensitive.
+func countAndFlag(t *table) (int, bool) {
+	n := 0
+	found := false
+	for id, w := range t.peers {
+		n++
+		if w > 0.5 {
+			found = true
+		}
+		_ = id
+	}
+	return n, found
+}
+
+// Per-key deletes have set semantics.
+func rebuild(t *table, alive map[int64]bool) {
+	for id := range t.peers {
+		if !alive[id] {
+			delete(t.peers, id)
+		}
+	}
+}
+
+// A channel send forwards elements in iteration order.
+func drain(t *table, ch chan int64) {
+	for id := range t.peers {
+		ch <- id // want "leaks iteration order"
+	}
+}
+
+// Calling out of the loop body can act in iteration order.
+func visit(t *table) {
+	for id := range t.peers {
+		touch(id) // want "call may act in iteration order"
+	}
+}
+
+// A plain store to an outer variable keeps whichever element iterated
+// last.
+func pickAny(t *table) int64 {
+	var last int64
+	for id := range t.peers {
+		last = id // want "last-iteration-wins"
+	}
+	return last
+}

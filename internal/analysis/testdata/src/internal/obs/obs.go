@@ -1,0 +1,32 @@
+// Package obs is the spectator-analyzer fixture for the spectator-package
+// scope: its import path contains "internal/obs", so every engine/node
+// touch outside the read-only allowlist is a violation.
+package obs
+
+import "internal/sim"
+
+type Reporter struct {
+	eng *sim.Engine
+}
+
+// Snapshot reads through the allowlist: legal.
+func (r *Reporter) Snapshot() (sim.EngineStats, int) {
+	return r.eng.Stats(), r.eng.LiveCount()
+}
+
+// Meddle calls mutating and trace-perturbing engine methods.
+func (r *Reporter) Meddle(id sim.NodeID) {
+	r.eng.Crash(id) // want "calls Engine.Crash"
+	_ = r.eng.RNG() // want "calls Engine.RNG"
+}
+
+// Scribble writes engine state through a field chain.
+func (r *Reporter) Scribble() {
+	r.eng.Cycles = 0 // want "writes engine state"
+}
+
+// Poke mutates a node; String is allowlisted.
+func (r *Reporter) Poke(n *sim.Node) {
+	n.Alive = true // want "writes node state"
+	_ = n.String()
+}

@@ -1,0 +1,76 @@
+// Package ownfix is the ownership-analyzer fixture: use-after-send in its
+// direct, aliased and double-send forms, the renewal and scalar escapes,
+// and Recycle methods both leaky and clean.
+package ownfix
+
+import "internal/sim"
+
+type Payload struct {
+	N    int
+	Buf  []byte
+	Next *Payload
+}
+
+// Recycle resets every reference field: clean.
+func (p *Payload) Recycle() {
+	p.N = 0
+	p.Buf = p.Buf[:0]
+	p.Next = nil
+}
+
+// direct keeps mutating a payload it no longer owns.
+func direct(ax *sim.ApplyContext, to sim.NodeID) {
+	p := &Payload{N: 1}
+	ax.Send(to, 0, p)
+	p.N = 2 // want "used after Send"
+}
+
+// aliased reaches the sent payload through a second name.
+func aliased(ax *sim.ApplyContext, to sim.NodeID) {
+	p := &Payload{}
+	q := p
+	ax.Send(to, 0, p)
+	q.Next = nil // want "used after Send"
+}
+
+// double sends the same pointer twice: the second send double-recycles.
+func double(px *sim.Proposals, to sim.NodeID) {
+	p := &Payload{}
+	px.Send(to, 0, p)
+	px.Send(to, 1, p) // want "used after Send"
+}
+
+// renewed replaces the variable with a fresh payload between sends: legal.
+func renewed(ax *sim.ApplyContext, to sim.NodeID) {
+	p := &Payload{}
+	ax.Send(to, 0, p)
+	p = &Payload{}
+	ax.Send(to, 1, p)
+}
+
+// scalar payloads have value semantics; reuse is harmless.
+func scalar(px *sim.Proposals, to sim.NodeID) {
+	n := 42
+	px.Send(to, 0, n)
+	_ = n
+}
+
+type Leaky struct {
+	ID   int64
+	Refs []*Payload
+	Peer *Payload
+}
+
+// Recycle forgets Peer: the recycled payload pins last cycle's data.
+func (l *Leaky) Recycle() { // want "leaves reference field Peer unreset"
+	l.Refs = l.Refs[:0]
+}
+
+type Blanked struct {
+	Data []byte
+}
+
+// Recycle by wholesale reset is clean.
+func (b *Blanked) Recycle() {
+	*b = Blanked{}
+}

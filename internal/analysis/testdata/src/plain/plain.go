@@ -1,0 +1,16 @@
+// Package plain is outside every trace-affecting package fragment, so the
+// determinism analyzer must stay silent here even on patterns it would
+// flag elsewhere.
+package plain
+
+import "time"
+
+func unordered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,50 @@
+// Package sim (at fixture path statspath) models the engine package for
+// the spectator analyzer's Stats-path scope: Engine.Stats and everything
+// it reaches through same-package static calls must only load.
+package sim
+
+import "sync/atomic"
+
+type EngineStats struct {
+	Cycle int64
+}
+
+type Engine struct {
+	cycles  int64
+	sampled atomic.Int64
+	legacy  int64
+	wake    chan struct{}
+}
+
+// Stats reads counters but also calls three mutating helpers; each helper
+// is flagged where it mutates.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{Cycle: e.cycles}
+	e.bump()
+	e.note()
+	e.mark()
+	e.signal()
+	return s
+}
+
+func (e *Engine) bump() {
+	e.cycles++ // want "writes engine state"
+}
+
+func (e *Engine) note() {
+	e.sampled.Store(1) // want "mutates an atomic"
+}
+
+func (e *Engine) mark() {
+	atomic.StoreInt64(&e.legacy, 1) // want "mutates an atomic"
+}
+
+func (e *Engine) signal() {
+	e.wake <- struct{}{} // want "channel send"
+}
+
+// unreached mutates too, but Stats never calls it: the BFS must not flag
+// functions off the path.
+func (e *Engine) unreached() {
+	e.cycles = 0
+}

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// TestTreeClean runs the full suite over every trace-affecting and
+// spectator package of the real tree and requires zero diagnostics: every
+// violation is either fixed or carries an explained //simcheck:allow
+// waiver. This is the in-repo twin of the CI `go vet -vettool=simcheck`
+// step, so `go test ./internal/analysis` alone catches a contract drift.
+func TestTreeClean(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/...", "./cmd/...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("expected the tree to list at least 5 packages, got %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags := RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, All())
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+)
+
+// The `go vet -vettool` side of the suite. The go command drives a vettool
+// one compilation unit at a time: it writes a JSON .cfg file describing the
+// unit (sources, import map, export-data files for every dependency) and
+// invokes the tool with that path as its sole argument. Dependency units
+// arrive with VetxOnly set and only need their facts file written; target
+// units are parsed, type-checked against the gc export data the go command
+// already produced, and analyzed. This mirrors what
+// golang.org/x/tools/go/analysis/unitchecker does, on the standard library
+// alone.
+
+// vetConfig is the subset of the go command's vet configuration file the
+// driver needs.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetUnit executes the full analyzer suite over one `go vet`
+// compilation unit described by the .cfg file at cfgPath, returning the
+// surviving diagnostics. Dependency units (VetxOnly) and units whose
+// type-check failure the go command asked to tolerate return no
+// diagnostics and no error.
+func RunVetUnit(cfgPath string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", cfgPath, err)
+	}
+	// The go command expects a facts file for every unit, dependencies
+	// included; the suite carries no cross-package facts, so an empty file
+	// satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerName := cfg.Compiler
+	if compilerName == "" {
+		compilerName = "gc"
+	}
+	compiler := importer.ForCompiler(fset, compilerName, func(path string) (io.ReadCloser, error) {
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, &exportImporter{compiler: compiler, importMap: cfg.ImportMap})
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+	return RunAnalyzers(fset, files, pkg, info, All()), nil
+}

@@ -1,6 +1,8 @@
 package overlay
 
 import (
+	"sort"
+
 	"gossipopt/internal/sim"
 	"gossipopt/internal/stats"
 )
@@ -31,8 +33,23 @@ func Snapshot(e *sim.Engine, slot int) map[sim.NodeID][]sim.NodeID {
 	return g
 }
 
+// sortedIDs returns g's keys in ascending order. Map iteration order is
+// randomized per run, so every metric below walks the graph through this
+// helper to stay reproducible.
+func sortedIDs(g map[sim.NodeID][]sim.NodeID) []sim.NodeID {
+	ids := make([]sim.NodeID, 0, len(g))
+	for id := range g {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Undirect returns the undirected version of g (union of both directions).
+// Adjacency lists come out in a deterministic order: nodes are visited by
+// ascending ID, so downstream traversals are reproducible.
 func Undirect(g map[sim.NodeID][]sim.NodeID) map[sim.NodeID][]sim.NodeID {
+	ids := sortedIDs(g)
 	u := make(map[sim.NodeID][]sim.NodeID, len(g))
 	seen := make(map[[2]sim.NodeID]bool)
 	addEdge := func(a, b sim.NodeID) {
@@ -50,13 +67,13 @@ func Undirect(g map[sim.NodeID][]sim.NodeID) map[sim.NodeID][]sim.NodeID {
 		u[a] = append(u[a], b)
 		u[b] = append(u[b], a)
 	}
-	for a := range g {
+	for _, a := range ids {
 		if _, ok := u[a]; !ok {
 			u[a] = nil
 		}
 	}
-	for a, nbrs := range g {
-		for _, b := range nbrs {
+	for _, a := range ids {
+		for _, b := range g[a] {
 			if _, ok := g[b]; !ok {
 				continue // edge to a node outside the snapshot
 			}
@@ -72,7 +89,7 @@ func ConnectedComponents(g map[sim.NodeID][]sim.NodeID) []int {
 	u := Undirect(g)
 	visited := make(map[sim.NodeID]bool, len(u))
 	var sizes []int
-	for start := range u {
+	for _, start := range sortedIDs(u) {
 		if visited[start] {
 			continue
 		}
@@ -111,15 +128,16 @@ func IsConnected(g map[sim.NodeID][]sim.NodeID) bool {
 // out-degree is fixed at C while the in-degree concentrates around C; a
 // heavy in-degree tail would indicate view-shuffling bias.
 func DegreeStats(g map[sim.NodeID][]sim.NodeID) (in, out stats.Summary) {
+	ids := sortedIDs(g)
 	inDeg := make(map[sim.NodeID]int, len(g))
 	var outs, ins []float64
-	for _, nbrs := range g {
-		outs = append(outs, float64(len(nbrs)))
-		for _, b := range nbrs {
+	for _, id := range ids {
+		outs = append(outs, float64(len(g[id])))
+		for _, b := range g[id] {
 			inDeg[b]++
 		}
 	}
-	for id := range g {
+	for _, id := range ids {
 		ins = append(ins, float64(inDeg[id]))
 	}
 	return stats.Summarize(ins), stats.Summarize(outs)
@@ -140,7 +158,11 @@ func ClusteringCoefficient(g map[sim.NodeID][]sim.NodeID) float64 {
 	}
 	var total float64
 	var counted int
-	for _, nbrs := range u {
+	// Ascending-ID order keeps the float accumulation reproducible (the
+	// per-node coefficients are not integers, so addition order matters in
+	// the last ulp).
+	for _, a := range sortedIDs(u) {
+		nbrs := u[a]
 		k := len(nbrs)
 		if k < 2 {
 			continue
@@ -167,16 +189,7 @@ func ClusteringCoefficient(g map[sim.NodeID][]sim.NodeID) float64 {
 // Unreachable pairs are skipped; ok is false if no finite path was found.
 func AvgPathLength(g map[sim.NodeID][]sim.NodeID, samples int) (avg float64, ok bool) {
 	u := Undirect(g)
-	var sources []sim.NodeID
-	for id := range u {
-		sources = append(sources, id)
-	}
-	// Deterministic order for reproducibility.
-	for i := 1; i < len(sources); i++ {
-		for j := i; j > 0 && sources[j] < sources[j-1]; j-- {
-			sources[j], sources[j-1] = sources[j-1], sources[j]
-		}
-	}
+	sources := sortedIDs(u)
 	if samples > 0 && samples < len(sources) {
 		sources = sources[:samples]
 	}
@@ -185,20 +198,19 @@ func AvgPathLength(g map[sim.NodeID][]sim.NodeID, samples int) (avg float64, ok 
 	for _, src := range sources {
 		dist := map[sim.NodeID]int{src: 0}
 		queue := []sim.NodeID{src}
+		// Distances accumulate at discovery time: with Undirect's adjacency
+		// order deterministic, BFS order — and therefore the sum — is too.
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
 			for _, nb := range u[cur] {
 				if _, seen := dist[nb]; !seen {
-					dist[nb] = dist[cur] + 1
+					d := dist[cur] + 1
+					dist[nb] = d
 					queue = append(queue, nb)
+					sum += float64(d)
+					count++
 				}
-			}
-		}
-		for id, d := range dist {
-			if id != src {
-				sum += float64(d)
-				count++
 			}
 		}
 	}

@@ -239,6 +239,7 @@ func deepMerge(dst, src map[string]any) {
 	for k, v := range src {
 		if sv, ok := v.(map[string]any); ok {
 			if dv, ok := dst[k].(map[string]any); ok {
+				//simcheck:allow determinism per-key recursive merge into a map is order-independent
 				deepMerge(dv, sv)
 				continue
 			}

@@ -3,25 +3,22 @@ package sim
 import (
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
 )
 
-// engineInHandler matches a Receive/Undelivered method that takes the
-// engine instead of the restricted ApplyContext — the pre-sharding
-// contract. sim.Protocol is untyped, so such a method still compiles; it
-// just silently stops matching sim.Receiver and the protocol goes deaf.
-var engineInHandler = regexp.MustCompile(`func \([^)]*\) (Receive|Undelivered)\([^)]*\*(sim\.)?Engine`)
-
-// TestNoLegacyProtocolsRemain is the grep-guard for the node-local apply
-// contract: the engine deleted the sequential CycleStepper path entirely,
-// so no bundled protocol may define (or reference) the NextCycle hook, and
-// none may declare a Receive/Undelivered that reaches for the whole
-// *Engine — handlers get an ApplyContext and must stay node-local, which
-// is what makes the destination-sharded parallel apply phase sound (and
-// what makes partitions and the Delivered/Dropped counters apply to every
-// message leg).
+// TestNoLegacyProtocolsRemain guards the one legacy ban the static-analysis
+// suite cannot express: no bundled protocol may mention the deleted
+// NextCycle hook at all — not as a method, not as a comment promising it,
+// not as a string. An AST-based analyzer sees declarations and references,
+// but the point of this ban is that the *name* stays dead everywhere, so a
+// future reader never finds a trace of the sequential CycleStepper path.
+//
+// The companion ban this test used to carry — a Receive/Undelivered method
+// taking *sim.Engine instead of the restricted ApplyContext — is now
+// enforced structurally by the nodelocal analyzer (internal/analysis,
+// "legacy handler shape"), which go vet -vettool=simcheck and the
+// internal/analysis tree test both run.
 func TestNoLegacyProtocolsRemain(t *testing.T) {
 	for _, dir := range []string{"../gossip", "../overlay", "../core"} {
 		entries, err := os.ReadDir(dir)
@@ -39,9 +36,6 @@ func TestNoLegacyProtocolsRemain(t *testing.T) {
 			}
 			if strings.Contains(string(data), "NextCycle") {
 				t.Errorf("%s references NextCycle: the engine has no sequential step anymore; use the Proposer/Receiver/Undeliverable contract", path)
-			}
-			if m := engineInHandler.Find(data); m != nil {
-				t.Errorf("%s declares an engine-taking handler (%s...): Receive/Undelivered take an *sim.ApplyContext and must stay node-local", path, m)
 			}
 		}
 	}

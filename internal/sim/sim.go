@@ -456,6 +456,7 @@ func (e *Engine) RunCycle() bool {
 	// its shard's nodes and a private outbox; concatenating the outboxes
 	// in shard order yields the messages in sender-ID order no matter how
 	// many workers ran.
+	//simcheck:allow determinism phase timing feeds Stats only, never the trace
 	phaseStart := time.Now()
 	workers := e.workers
 	if workers > len(live) {
@@ -488,6 +489,7 @@ func (e *Engine) RunCycle() bool {
 	for w := range outs {
 		e.evals += outs[w].evals
 	}
+	//simcheck:allow determinism phase timing feeds Stats only, never the trace
 	now := time.Now()
 	e.proposeNanos += now.Sub(phaseStart).Nanoseconds()
 	phaseStart = now
@@ -519,6 +521,7 @@ func (e *Engine) RunCycle() bool {
 		round = next
 	}
 	e.releaseApplyScratch(outs, depth)
+	//simcheck:allow determinism phase timing feeds Stats only, never the trace
 	e.applyNanos += time.Since(phaseStart).Nanoseconds()
 
 	e.cycle++
