@@ -1,9 +1,10 @@
 // Command scenario runs declarative experiment scripts: a JSON spec (or a
 // built-in scenario) describes the network, the protocol stack, a timeline
 // of scripted events — churn bursts, partitions and heals, link-model
-// swaps, crash/restart waves — the metric schedule and the stop
-// conditions; this command runs a seeded campaign of repetitions and
-// emits structured per-cycle metrics as CSV or JSON lines.
+// swaps (lossy/delaying links, regional outages), Byzantine-node waves,
+// crash/restart waves — the metric schedule and the stop conditions;
+// this command runs a seeded campaign of repetitions and emits
+// structured per-cycle metrics as CSV or JSON lines.
 //
 // A sweep spec (-sweep) is a base scenario plus a grid of named override
 // axes; every grid cell runs its repetitions on one bounded worker pool

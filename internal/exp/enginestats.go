@@ -26,12 +26,16 @@ type EngineStatsSummary struct {
 	// worker-pool submission counts.
 	LiveRebuilds MetricStat `json:"live_rebuilds"`
 	PoolTasks    MetricStat `json:"pool_tasks"`
+	// Delayed and Corrupted summarize the per-link network model's verdict
+	// counts (sim.EngineStats.Delayed/Corrupted); zero when no model runs.
+	Delayed   MetricStat `json:"delayed"`
+	Corrupted MetricStat `json:"corrupted"`
 }
 
 // AggregateEngineStats reduces one cell's per-repetition engine snapshots
 // to an EngineStatsSummary.
 func AggregateEngineStats(snaps []sim.EngineStats) EngineStatsSummary {
-	var pn, an, ar, aj, sk, lr, pt stats.Acc
+	var pn, an, ar, aj, sk, lr, pt, dl, co stats.Acc
 	for _, s := range snaps {
 		pn.Add(float64(s.ProposeNanos))
 		an.Add(float64(s.ApplyNanos))
@@ -40,6 +44,8 @@ func AggregateEngineStats(snaps []sim.EngineStats) EngineStatsSummary {
 		sk.Add(s.ShardSkew())
 		lr.Add(float64(s.LiveRebuilds))
 		pt.Add(float64(s.PoolTasks))
+		dl.Add(float64(s.Delayed))
+		co.Add(float64(s.Corrupted))
 	}
 	return EngineStatsSummary{
 		ProposeNanos: statOf(&pn),
@@ -49,5 +55,7 @@ func AggregateEngineStats(snaps []sim.EngineStats) EngineStatsSummary {
 		ShardSkew:    statOf(&sk),
 		LiveRebuilds: statOf(&lr),
 		PoolTasks:    statOf(&pt),
+		Delayed:      statOf(&dl),
+		Corrupted:    statOf(&co),
 	}
 }

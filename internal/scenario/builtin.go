@@ -139,6 +139,63 @@ func builtins() map[string]Spec {
 			MetricsEvery: 10,
 			Stop:         Stop{Cycles: 80},
 		},
+		"lossy-links": {
+			Name: "lossy-links",
+			Description: "Anti-entropy over lossy, laggy links (15% loss, up to 2 cycles delay) with a storm " +
+				"(50% loss, 1-4 cycles delay) between cycles 30 and 50; diffusion slows but converges.",
+			Nodes: 64,
+			Seed:  11,
+			Stack: Stack{
+				Protocol: ProtocolAntiEntropy,
+				Net:      &NetSpec{Loss: 0.15, DelayMax: 2},
+			},
+			Timeline: []Event{
+				{At: 30, Action: "link-model", Model: &NetSpec{Loss: 0.5, DelayMin: 1, DelayMax: 4}},
+				{At: 50, Action: "link-model"}, // back to the baseline net
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 100},
+		},
+		"regional-outage": {
+			Name: "regional-outage",
+			Description: "Rumor mongering under correlated failures: four regions flap as Markov chains " +
+				"(10% fail, 30% recover per cycle), cutting every leg that touches a down region.",
+			Nodes: 64,
+			Seed:  12,
+			Stack: Stack{
+				Topology: "random", ViewSize: 8,
+				Protocol: ProtocolRumor, Fanout: 2, StopProb: fptr(0.05),
+				Net: &NetSpec{Regions: 4, RegionFail: 0.1, RegionRecover: 0.3},
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 100},
+		},
+		"byzantine-corrupt": {
+			Name: "byzantine-corrupt",
+			Description: "Anti-entropy with a quarter of the nodes corrupting every message they send " +
+				"(their payloads arrive as unparseable garbage); the honest majority still diffuses the maximum.",
+			Nodes: 64,
+			Seed:  13,
+			Stack: Stack{Protocol: ProtocolAntiEntropy},
+			Timeline: []Event{
+				{At: 0, Action: "byzantine", Behavior: "corrupt", Fraction: 0.25},
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 80},
+		},
+		"byzantine-delay": {
+			Name: "byzantine-delay",
+			Description: "T-Man builds a ring while a quarter of the nodes lag every message they send by " +
+				"1-3 cycles, serving stale descriptors; construction slows but completes.",
+			Nodes: 64,
+			Seed:  14,
+			Stack: Stack{Protocol: ProtocolTMan, TManC: 4},
+			Timeline: []Event{
+				{At: 0, Action: "byzantine", Behavior: "delay", Fraction: 0.25},
+			},
+			MetricsEvery: 10,
+			Stop:         Stop{Cycles: 100},
+		},
 		"tman-ring-churn": {
 			Name:        "tman-ring-churn",
 			Description: "T-Man builds a ring while a quarter of the nodes crash mid-construction and later restart.",
@@ -209,6 +266,31 @@ func builtinSweeps() map[string]SweepSpec {
 				{Name: "loss", Path: "stack.drop_prob", Values: []AxisValue{
 					{Value: raw(`0`)},
 					{Value: raw(`0.3`)},
+				}},
+			},
+			Reps:      3,
+			Threshold: fptr(0.1),
+		},
+		"protocol-vs-linkloss": {
+			Name: "protocol-vs-linkloss",
+			Description: "How does per-link loss degrade epidemic spread? Rumor mongering vs push-pull " +
+				"anti-entropy at 0%, 15% and 35% per-leg loss; time-to-90%-coverage grows with loss.",
+			Base: Spec{
+				Nodes:        48,
+				Seed:         31,
+				Stack:        Stack{Topology: "random", ViewSize: 8},
+				MetricsEvery: 2,
+				Stop:         Stop{Cycles: 120},
+			},
+			Axes: []Axis{
+				{Name: "protocol", Values: []AxisValue{
+					{Label: "rumor", Value: raw(`{"stack":{"protocol":"rumor","fanout":2,"stop_prob":0.05}}`)},
+					{Label: "antientropy", Value: raw(`{"stack":{"protocol":"antientropy"}}`)},
+				}},
+				{Name: "loss", Path: "stack.net.loss", Values: []AxisValue{
+					{Value: raw(`0`)},
+					{Value: raw(`0.15`)},
+					{Value: raw(`0.35`)},
 				}},
 			},
 			Reps:      3,

@@ -1,0 +1,41 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the strict spec parser. The
+// invariants under fuzz: Parse never panics, and any spec it accepts is
+// fully normalized — re-normalizing is an error-free no-op, so Run (which
+// re-normalizes what Parse returned) can never diverge from what the
+// parser validated. The committed corpus under testdata/fuzz seeds every
+// built-in scenario plus the documented examples; the runtime seeds below
+// keep the built-ins covered even if the corpus goes stale.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		s, ok := Builtin(name)
+		if !ok {
+			f.Fatalf("builtin %q missing", name)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		again, err := s.normalized()
+		if err != nil {
+			t.Fatalf("spec accepted by Parse fails re-validation: %v\ninput: %s", err, data)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("normalization is not idempotent for accepted input %s:\n first %+v\nsecond %+v", data, s, again)
+		}
+	})
+}

@@ -323,6 +323,11 @@ func runCycleRep(s Spec, seed uint64, rep int, opts Options, sink exp.Sink) (Rep
 	// deterministically instead of waiting for the finalizer backstop.
 	defer eng.Close()
 
+	ns := netState{baseline: s.Stack.Net, link: netModelOf(s.Stack.Net)}
+	if ns.link != nil {
+		ns.install(eng)
+	}
+
 	emit := func(cycle int64) error {
 		exchanges, lost, adoptions := net.Counters()
 		return sink.Emit(exp.Record{
@@ -353,7 +358,7 @@ func runCycleRep(s Spec, seed uint64, rep int, opts Options, sink exp.Sink) (Rep
 	var evScratch []*sim.Node // reused across scripted events (crash/revive scans)
 	for c = 0; c < s.Stop.Cycles; c++ {
 		for ei < len(s.Timeline) && int64(s.Timeline[ei].At) <= c {
-			applyCycleEvent(eng, s.Timeline[ei], &evScratch)
+			applyCycleEvent(eng, &ns, s.Timeline[ei], &evScratch)
 			ei++
 		}
 		eng.RunCycle()
@@ -415,12 +420,65 @@ func gossipEvery(r int) int {
 	return r
 }
 
+// netState tracks the cycle engine's per-link network-model stack across
+// scripted events: the spec's baseline model, the currently installed link
+// model, and the Byzantine adversary roster. The roster survives link-model
+// swaps — a storm passing does not heal the adversaries — and only a
+// byzantine "none" event clears it.
+type netState struct {
+	baseline *NetSpec
+	link     sim.NetModel
+	byz      *sim.Byzantine
+}
+
+// install composes the Byzantine roster with the current link model —
+// adversaries judge first, so a blackholed leg spends no loss-model draws —
+// and installs the result on the engine (nil when both parts are empty).
+func (ns *netState) install(eng *sim.Engine) {
+	var byz sim.NetModel
+	if ns.byz != nil && ns.byz.Len() > 0 {
+		byz = ns.byz
+	}
+	eng.SetNetModel(sim.Compose(byz, ns.link))
+}
+
+// netModelOf compiles a NetSpec into the engine model it describes:
+// correlated regional outages first, then i.i.d. per-leg loss and delay.
+// A nil or all-zero spec compiles to nil (no model).
+func netModelOf(n *NetSpec) sim.NetModel {
+	if n == nil {
+		return nil
+	}
+	var models []sim.NetModel
+	if n.Regions >= 2 {
+		models = append(models, sim.NewRegionalOutage(n.Regions, n.RegionFail, n.RegionRecover))
+	}
+	if n.Loss > 0 || n.DelayMax > 0 {
+		models = append(models, sim.LossyLinks{Loss: n.Loss, DelayMin: n.DelayMin, DelayMax: n.DelayMax})
+	}
+	return sim.Compose(models...)
+}
+
+// byzBehavior maps a validated byzantine-event behavior name to the sim
+// constant.
+func byzBehavior(name string) sim.ByzBehavior {
+	switch name {
+	case "drop":
+		return sim.ByzDrop
+	case "delay":
+		return sim.ByzDelay
+	case "corrupt":
+		return sim.ByzCorrupt
+	}
+	return 0
+}
+
 // applyCycleEvent fires one scripted event on the cycle engine, before the
 // cycle it names runs. All random choices draw from the engine RNG on the
 // coordinator goroutine, so scripted runs stay worker-invariant. scratch is
 // the caller's reusable node buffer: event scans snapshot into it instead
 // of allocating a fresh slice per scripted event.
-func applyCycleEvent(eng *sim.Engine, ev Event, scratch *[]*sim.Node) {
+func applyCycleEvent(eng *sim.Engine, ns *netState, ev Event, scratch *[]*sim.Node) {
 	switch ev.Action {
 	case "crash":
 		live := eng.AppendLiveNodes((*scratch)[:0])
@@ -451,6 +509,33 @@ func applyCycleEvent(eng *sim.Engine, ev Event, scratch *[]*sim.Node) {
 		eng.SetDeliveryFilter(partitionFilter(ev))
 	case "heal":
 		eng.SetDeliveryFilter(nil)
+	case "link-model":
+		spec := ev.Model
+		if spec == nil {
+			spec = ns.baseline
+		}
+		ns.link = netModelOf(spec)
+		ns.install(eng)
+	case "byzantine":
+		if ev.Behavior == "none" {
+			if ns.byz != nil {
+				ns.byz.Clear()
+			}
+			ns.install(eng)
+			break
+		}
+		if ns.byz == nil {
+			ns.byz = sim.NewByzantine()
+		}
+		live := eng.AppendLiveNodes((*scratch)[:0])
+		*scratch = live
+		k := eventCount(ev, len(live))
+		perm := eng.RNG().Perm(len(live))
+		beh := byzBehavior(ev.Behavior)
+		for i := 0; i < k && i < len(perm); i++ {
+			ns.byz.Set(live[perm[i]].ID, beh)
+		}
+		ns.install(eng)
 	}
 }
 

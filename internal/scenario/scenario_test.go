@@ -17,8 +17,8 @@ func (s *captureSink) Flush() error            { return nil }
 
 func TestBuiltinsNormalize(t *testing.T) {
 	names := BuiltinNames()
-	if len(names) != 10 {
-		t.Fatalf("expected 10 built-ins, got %v", names)
+	if len(names) != 14 {
+		t.Fatalf("expected 14 built-ins, got %v", names)
 	}
 	for _, name := range names {
 		s, ok := Builtin(name)

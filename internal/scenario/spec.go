@@ -93,6 +93,10 @@ type Stack struct {
 	// Link is the event engine's initial link model (default: latency
 	// uniform in [0.1, 1], no loss).
 	Link *Link `json:"link,omitempty"`
+	// Net is the cycle engine's baseline per-link network model (loss,
+	// cycle-granular delay, correlated regional outages); link-model
+	// events swap it mid-run and restore it when their model is omitted.
+	Net *NetSpec `json:"net,omitempty"`
 }
 
 // Link describes a sim.UniformLink.
@@ -117,28 +121,96 @@ func (l *Link) validate() error {
 	return nil
 }
 
+// NetSpec describes a cycle-engine per-link network model: independent
+// per-leg loss and delay (sim.LossyLinks) plus correlated regional
+// outages (sim.RegionalOutage), composed when both are configured. The
+// zero value is a no-op (no model installed). Every random decision draws
+// from the engine's dedicated net-model stream, so scripted runs stay
+// byte-identical across the worker grid.
+type NetSpec struct {
+	// Loss is the per-leg i.i.d. loss probability in [0, 1]; lost legs
+	// give the sender failure feedback, like a timed-out connection.
+	Loss float64 `json:"loss,omitempty"`
+	// DelayMin and DelayMax bound the per-leg uniform delay draw in whole
+	// cycles (a draw of 0 delivers in the current cycle); DelayMax 0
+	// disables delay.
+	DelayMin int64 `json:"delay_min,omitempty"`
+	DelayMax int64 `json:"delay_max,omitempty"`
+	// Regions >= 2 adds correlated failures: nodes belong to regions by
+	// ID mod Regions, and each cycle an up region goes down with
+	// probability RegionFail while a down one recovers with
+	// RegionRecover. Legs touching a down region are dropped.
+	Regions       int     `json:"regions,omitempty"`
+	RegionFail    float64 `json:"region_fail,omitempty"`
+	RegionRecover float64 `json:"region_recover,omitempty"`
+}
+
+// validate rejects probabilities outside [0, 1], negative or inverted
+// delay bounds, and outage knobs without a region count. A nil or
+// all-zero NetSpec is valid (no model).
+func (n *NetSpec) validate() error {
+	if n == nil {
+		return nil
+	}
+	if n.Loss < 0 || n.Loss > 1 || math.IsNaN(n.Loss) {
+		return fmt.Errorf("loss=%v outside [0, 1]", n.Loss)
+	}
+	if n.DelayMin < 0 || n.DelayMax < 0 {
+		return fmt.Errorf("delays must be >= 0 cycles (delay_min=%d, delay_max=%d)", n.DelayMin, n.DelayMax)
+	}
+	if n.DelayMin > n.DelayMax {
+		return fmt.Errorf("delay_min=%d exceeds delay_max=%d", n.DelayMin, n.DelayMax)
+	}
+	if n.Regions == 1 || n.Regions < 0 {
+		return fmt.Errorf("regions=%d must be >= 2 (or 0 for no regional outages)", n.Regions)
+	}
+	if n.RegionFail < 0 || n.RegionFail > 1 || math.IsNaN(n.RegionFail) {
+		return fmt.Errorf("region_fail=%v outside [0, 1]", n.RegionFail)
+	}
+	if n.RegionRecover < 0 || n.RegionRecover > 1 || math.IsNaN(n.RegionRecover) {
+		return fmt.Errorf("region_recover=%v outside [0, 1]", n.RegionRecover)
+	}
+	if n.Regions == 0 && (n.RegionFail != 0 || n.RegionRecover != 0) {
+		return fmt.Errorf("region_fail/region_recover need regions >= 2")
+	}
+	return nil
+}
+
 // Event is one scripted timeline entry. At is a cycle index on the cycle
 // engine (must be integral) and a simulated time on the event engine;
 // events fire before the cycle / at the time they name.
 type Event struct {
 	At float64 `json:"at"`
-	// Action is one of:
+	// Action is one of (the full vocabulary lives in actionRules):
 	//
-	//	crash      kill Count nodes, or Fraction of the live population
-	//	join       add Count fresh nodes (cycle engine only)
-	//	revive     restart up to Count crashed nodes (ID order)
-	//	partition  split the network into Groups islands (ID mod Groups);
-	//	           with OneWay set, cross-island traffic still flows from
-	//	           lower-numbered islands to higher ones (a one-way cut)
-	//	heal       remove the partition
-	//	set-link   swap the link model to Link (event engine only; omit
-	//	           link to restore the stack's baseline link)
+	//	crash       kill Count nodes, or Fraction of the live population
+	//	join        add Count fresh nodes (cycle engine only)
+	//	revive      restart up to Count crashed nodes (ID order)
+	//	partition   split the network into Groups islands (ID mod Groups);
+	//	            with OneWay set, cross-island traffic still flows from
+	//	            lower-numbered islands to higher ones (a one-way cut)
+	//	heal        remove the partition
+	//	set-link    swap the link model to Link (event engine only; omit
+	//	            link to restore the stack's baseline link)
+	//	link-model  swap the per-link network model to Model (cycle engine
+	//	            only; omit model to restore the stack's baseline net)
+	//	byzantine   turn Count nodes — or Fraction of the live population —
+	//	            into adversaries with the given Behavior: "drop"
+	//	            (blackhole everything sent to them, no sender
+	//	            feedback), "delay" (hold every leg they send back 1–3
+	//	            cycles), or "corrupt" (their messages arrive as
+	//	            unparseable garbage); "none" heals every adversary
+	//	            (cycle engine only)
 	Action   string  `json:"action"`
 	Fraction float64 `json:"fraction,omitempty"`
 	Count    int     `json:"count,omitempty"`
 	Groups   int     `json:"groups,omitempty"`
 	OneWay   bool    `json:"oneway,omitempty"`
 	Link     *Link   `json:"link,omitempty"`
+	// Model is the link-model event's replacement network model.
+	Model *NetSpec `json:"model,omitempty"`
+	// Behavior selects the byzantine event's adversarial repertoire.
+	Behavior string `json:"behavior,omitempty"`
 }
 
 // Stop bounds a run. The first condition reached stops the repetition.
@@ -196,6 +268,9 @@ func (s Spec) normalized() (Spec, error) {
 		if s.Stack.EvalTime != 0 || s.Stack.NewscastPeriod != 0 || s.Stack.Link != nil {
 			return s, fmt.Errorf("scenario %q: stack.eval_time/newscast_period/link are event-engine knobs; the cycle engine has no clock or link model", s.Name)
 		}
+		if err := s.Stack.Net.validate(); err != nil {
+			return s, fmt.Errorf("scenario %q: stack.net: %w", s.Name, err)
+		}
 		if s.MetricsEvery != math.Trunc(s.MetricsEvery) {
 			return s, fmt.Errorf("scenario %q: metrics_every=%v must be a whole number of cycles on the cycle engine", s.Name, s.MetricsEvery)
 		}
@@ -208,6 +283,9 @@ func (s Spec) normalized() (Spec, error) {
 		}
 		if s.Stack.DropProb != 0 {
 			return s, fmt.Errorf("scenario %q: stack.drop_prob is a cycle-engine knob; model loss with stack.link.loss_prob on the event engine", s.Name)
+		}
+		if s.Stack.Net != nil {
+			return s, fmt.Errorf("scenario %q: stack.net is a cycle-engine model; use stack.link on the event engine", s.Name)
 		}
 		if err := s.Stack.Link.validate(); err != nil {
 			return s, fmt.Errorf("scenario %q: stack.link: %w", s.Name, err)
@@ -332,6 +410,93 @@ func (s Spec) normalized() (Spec, error) {
 	return s, nil
 }
 
+// actionRules is the single timeline-action registry: every action's
+// per-event validator, keyed by action name. validateEvent dispatches
+// through it and the unknown-action error enumerates its keys, so adding
+// an action here automatically extends both validation and the error's
+// vocabulary — the two can never drift apart.
+var actionRules = map[string]func(s *Spec, ev Event) error{
+	"crash": func(s *Spec, ev Event) error {
+		if ev.Count <= 0 && (ev.Fraction <= 0 || ev.Fraction > 1) {
+			return fmt.Errorf("crash needs count > 0 or fraction in (0, 1]")
+		}
+		return nil
+	},
+	"revive": func(s *Spec, ev Event) error {
+		if ev.Count <= 0 {
+			return fmt.Errorf("revive needs count > 0")
+		}
+		return nil
+	},
+	"join": func(s *Spec, ev Event) error {
+		if s.Engine == EngineEvent {
+			return fmt.Errorf("join is not supported on the event engine")
+		}
+		if s.Stack.Protocol == ProtocolTMan {
+			return fmt.Errorf("join is not supported with the tman protocol (the target ring is defined over the initial population)")
+		}
+		if ev.Count <= 0 {
+			return fmt.Errorf("join needs count > 0")
+		}
+		return nil
+	},
+	"partition": func(s *Spec, ev Event) error {
+		if ev.Groups < 2 {
+			return fmt.Errorf("partition needs groups >= 2")
+		}
+		return nil
+	},
+	"heal": func(s *Spec, ev Event) error { return nil },
+	"set-link": func(s *Spec, ev Event) error {
+		if s.Engine != EngineEvent {
+			return fmt.Errorf("set-link is only supported on the event engine")
+		}
+		if err := ev.Link.validate(); err != nil {
+			return fmt.Errorf("set-link: %w", err)
+		}
+		return nil
+	},
+	"link-model": func(s *Spec, ev Event) error {
+		if s.Engine != EngineCycle {
+			return fmt.Errorf("link-model is only supported on the cycle engine")
+		}
+		if err := ev.Model.validate(); err != nil {
+			return fmt.Errorf("link-model: %w", err)
+		}
+		return nil
+	},
+	"byzantine": func(s *Spec, ev Event) error {
+		if s.Engine != EngineCycle {
+			return fmt.Errorf("byzantine is only supported on the cycle engine")
+		}
+		switch ev.Behavior {
+		case "drop", "delay", "corrupt":
+			if ev.Count <= 0 && (ev.Fraction <= 0 || ev.Fraction > 1) {
+				return fmt.Errorf("byzantine needs count > 0 or fraction in (0, 1]")
+			}
+		case "none":
+			if ev.Count != 0 || ev.Fraction != 0 {
+				return fmt.Errorf(`byzantine behavior "none" heals every adversary and takes no count/fraction`)
+			}
+		case "":
+			return fmt.Errorf("byzantine needs a behavior (drop, delay, corrupt, or none)")
+		default:
+			return fmt.Errorf("unknown byzantine behavior %q (want drop, delay, corrupt, or none)", ev.Behavior)
+		}
+		return nil
+	},
+}
+
+// ActionNames returns the sorted timeline-action vocabulary.
+func ActionNames() []string {
+	out := make([]string, 0, len(actionRules))
+	for name := range actionRules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (s Spec) validateEvent(ev Event) error {
 	if ev.At < 0 || math.IsNaN(ev.At) || math.IsInf(ev.At, 0) {
 		return fmt.Errorf("at=%v out of range", ev.At)
@@ -353,39 +518,15 @@ func (s Spec) validateEvent(ev Event) error {
 	if ev.OneWay && ev.Action != "partition" {
 		return fmt.Errorf("oneway applies to partition events only")
 	}
-	switch ev.Action {
-	case "crash":
-		if ev.Count <= 0 && (ev.Fraction <= 0 || ev.Fraction > 1) {
-			return fmt.Errorf("crash needs count > 0 or fraction in (0, 1]")
-		}
-	case "revive":
-		if ev.Count <= 0 {
-			return fmt.Errorf("revive needs count > 0")
-		}
-	case "join":
-		if s.Engine == EngineEvent {
-			return fmt.Errorf("join is not supported on the event engine")
-		}
-		if s.Stack.Protocol == ProtocolTMan {
-			return fmt.Errorf("join is not supported with the tman protocol (the target ring is defined over the initial population)")
-		}
-		if ev.Count <= 0 {
-			return fmt.Errorf("join needs count > 0")
-		}
-	case "partition":
-		if ev.Groups < 2 {
-			return fmt.Errorf("partition needs groups >= 2")
-		}
-	case "heal":
-	case "set-link":
-		if s.Engine != EngineEvent {
-			return fmt.Errorf("set-link is only supported on the event engine")
-		}
-		if err := ev.Link.validate(); err != nil {
-			return fmt.Errorf("set-link: %w", err)
-		}
-	default:
-		return fmt.Errorf("unknown action %q (available: crash, join, revive, partition, heal, set-link)", ev.Action)
+	if ev.Model != nil && ev.Action != "link-model" {
+		return fmt.Errorf("model applies to link-model events only")
 	}
-	return nil
+	if ev.Behavior != "" && ev.Action != "byzantine" {
+		return fmt.Errorf("behavior applies to byzantine events only")
+	}
+	rule, ok := actionRules[ev.Action]
+	if !ok {
+		return fmt.Errorf("unknown action %q (available: %s)", ev.Action, strings.Join(ActionNames(), ", "))
+	}
+	return rule(&s, ev)
 }

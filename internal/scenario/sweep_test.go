@@ -13,8 +13,8 @@ import (
 
 func TestBuiltinSweepsExpandAndRun(t *testing.T) {
 	names := BuiltinSweepNames()
-	if len(names) != 2 {
-		t.Fatalf("expected 2 built-in sweeps, got %v", names)
+	if len(names) != 3 {
+		t.Fatalf("expected 3 built-in sweeps, got %v", names)
 	}
 	for _, name := range names {
 		sw, ok := BuiltinSweep(name)
@@ -25,16 +25,20 @@ func TestBuiltinSweepsExpandAndRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("built-in sweep %q does not expand: %v", name, err)
 		}
-		if len(cells) != 4 {
-			t.Fatalf("built-in sweep %q: %d cells, want 4 (2x2 grid)", name, len(cells))
+		grid := 1
+		for _, ax := range sw.Axes {
+			grid *= len(ax.Values)
+		}
+		if len(cells) != grid {
+			t.Fatalf("built-in sweep %q: %d cells, want the full %d-cell grid", name, len(cells), grid)
 		}
 		var sink captureSink
 		res, err := RunSweep(sw, Options{Reps: 2, RepWorkers: 2}, &sink)
 		if err != nil {
 			t.Fatalf("built-in sweep %q failed: %v", name, err)
 		}
-		if len(res) != 4 {
-			t.Fatalf("built-in sweep %q: %d cell results, want 4", name, len(res))
+		if len(res) != grid {
+			t.Fatalf("built-in sweep %q: %d cell results, want %d", name, len(res), grid)
 		}
 		for _, r := range res {
 			if len(r.Sums) != 2 {

@@ -59,6 +59,11 @@ type Message struct {
 	// cycle ends (see freelist.go for the full ownership rules), so
 	// handlers must not retain it — or slices inside it — across cycles.
 	Data any
+	// redelivered marks a leg re-entering a later cycle after a net-model
+	// delay (see netmodel.go): it is re-checked against liveness and the
+	// delivery filter at its release cycle, but never judged by the model
+	// twice — a delayed leg cannot be re-delayed, re-lost or corrupted.
+	redelivered bool
 }
 
 // Proposer is the phase-1 contract of the two-phase exchange model.

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gossipopt/internal/rng"
+)
+
+// fateModel is a test model returning one fixed verdict for every leg.
+type fateModel struct{ v Verdict }
+
+func (f fateModel) Judge(from, to NodeID, r *rng.RNG) Verdict { return f.v }
+
+func TestNetModelFullLossDropsEverything(t *testing.T) {
+	e, protos := buildPingRing(31, 4, 1)
+	e.SetNetModel(LossyLinks{Loss: 1})
+	e.Run(3)
+	for i, p := range protos {
+		if p.got != 0 || p.failed != 3 {
+			t.Fatalf("node %d under 100%% loss: got=%d failed=%d, want 0/3", i, p.got, p.failed)
+		}
+	}
+	if e.Delivered() != 0 || e.Dropped() != 12 {
+		t.Fatalf("counters: delivered=%d dropped=%d, want 0/12", e.Delivered(), e.Dropped())
+	}
+}
+
+func TestNetModelDelayShiftsDeliveryByExactlyD(t *testing.T) {
+	e, protos := buildPingRing(32, 4, 1)
+	e.SetNetModel(fateModel{Verdict{Fate: FateDelay, Delay: 2}})
+	// Each cycle's pings arrive two cycles later; an always-delay model
+	// must not re-delay a released leg (it is judged exactly once).
+	e.Run(2)
+	for i, p := range protos {
+		if p.got != 0 {
+			t.Fatalf("node %d: got=%d before any release, want 0", i, p.got)
+		}
+	}
+	if e.Delayed() != 8 || e.Delivered() != 0 {
+		t.Fatalf("after 2 cycles: delayed=%d delivered=%d, want 8/0", e.Delayed(), e.Delivered())
+	}
+	e.Run(3)
+	for i, p := range protos {
+		if p.got != 3 || p.failed != 0 {
+			t.Fatalf("node %d after 5 cycles: got=%d failed=%d, want 3/0 (cycle-0..2 pings released)", i, p.got, p.failed)
+		}
+	}
+	if e.Delivered() != 12 || e.Delayed() != 20 {
+		t.Fatalf("after 5 cycles: delivered=%d delayed=%d, want 12/20", e.Delivered(), e.Delayed())
+	}
+}
+
+func TestNetModelDelayedLegObeysFilterAtRelease(t *testing.T) {
+	// A leg delayed before a partition forms must still be blocked when it
+	// arrives during the partition — and its sender gets the feedback.
+	e, protos := buildPingRing(33, 4, 1)
+	e.SetNetModel(fateModel{Verdict{Fate: FateDelay, Delay: 2}})
+	e.Run(1) // cycle-0 pings now queued for cycle 2
+	e.SetNetModel(nil)
+	e.SetDeliveryFilter(SplitGroups(4)) // ring pings all cross islands
+	e.Run(2)
+	for i, p := range protos {
+		if p.got != 0 || p.failed != 3 {
+			t.Fatalf("node %d: got=%d failed=%d, want 0 got (partition blocks the released leg too) / 3 failed", i, p.got, p.failed)
+		}
+	}
+}
+
+// recordProto captures every payload its node receives.
+type recordProto struct {
+	next              NodeID
+	payloads          []any
+	got, failed, sent int
+}
+
+func (p *recordProto) Propose(n *Node, px *Proposals) {
+	p.sent++
+	px.Send(p.next, 0, fmt.Sprintf("ping-from-%d", n.ID))
+}
+
+func (p *recordProto) Receive(n *Node, ax *ApplyContext, msg Message) {
+	p.got++
+	p.payloads = append(p.payloads, msg.Data)
+}
+
+func (p *recordProto) Undelivered(n *Node, ax *ApplyContext, msg Message) { p.failed++ }
+
+func buildRecordRing(seed uint64, n int) (*Engine, []*recordProto) {
+	e := NewEngine(seed)
+	protos := make([]*recordProto, 0, n)
+	e.SetNodeFactory(func(nd *Node) {
+		p := &recordProto{next: NodeID((int64(nd.ID) + 1) % int64(n))}
+		protos = append(protos, p)
+		nd.Protocols = []Protocol{p}
+	})
+	e.AddNodes(n)
+	return e, protos
+}
+
+func TestByzantineCorruptDeliversMarkerAndCountsDropped(t *testing.T) {
+	e, protos := buildRecordRing(34, 4)
+	byz := NewByzantine()
+	byz.Set(0, ByzCorrupt)
+	e.SetNetModel(byz)
+	e.Run(3)
+	// Node 0's pings reach node 1 as Corrupted markers; everyone else's
+	// arrive intact. No sender gets failure feedback from corruption.
+	for i, p := range protos {
+		if p.got != 3 || p.failed != 0 {
+			t.Fatalf("node %d: got=%d failed=%d, want 3/0", i, p.got, p.failed)
+		}
+	}
+	for _, d := range protos[1].payloads {
+		if _, ok := d.(Corrupted); !ok {
+			t.Fatalf("node 1 received %T from the corrupting node, want sim.Corrupted", d)
+		}
+	}
+	for _, d := range protos[2].payloads {
+		if _, ok := d.(string); !ok {
+			t.Fatalf("honest leg delivered %T, want string", d)
+		}
+	}
+	if e.Corrupted() != 3 || e.Dropped() != 3 || e.Delivered() != 9 {
+		t.Fatalf("corrupted=%d dropped=%d delivered=%d, want 3/3/9",
+			e.Corrupted(), e.Dropped(), e.Delivered())
+	}
+}
+
+func TestByzantineBlackholeGivesNoFeedback(t *testing.T) {
+	e, protos := buildRecordRing(35, 4)
+	byz := NewByzantine()
+	byz.Set(1, ByzDrop)
+	e.SetNetModel(byz)
+	e.Run(3)
+	// Node 0 sends into the blackhole: nothing arrives AND nothing bounces
+	// (no Undeliverable), unlike an honest drop.
+	if protos[1].got != 0 {
+		t.Fatalf("blackhole node received %d messages", protos[1].got)
+	}
+	if protos[0].failed != 0 {
+		t.Fatalf("sender into blackhole got %d Undelivered callbacks, want 0 (silent)", protos[0].failed)
+	}
+	if e.Dropped() != 3 || e.Delivered() != 9 {
+		t.Fatalf("dropped=%d delivered=%d, want 3/9", e.Dropped(), e.Delivered())
+	}
+}
+
+func TestByzantineDelayUsesConfiguredRange(t *testing.T) {
+	e, protos := buildRecordRing(36, 4)
+	byz := &Byzantine{DelayMin: 2, DelayMax: 2}
+	byz.Set(0, ByzDelay)
+	e.SetNetModel(byz)
+	e.Run(2)
+	if protos[1].got != 0 {
+		t.Fatalf("delayed leg arrived early: got=%d", protos[1].got)
+	}
+	e.Run(1)
+	if protos[1].got != 1 || e.Delayed() != 3 {
+		t.Fatalf("got=%d delayed=%d after 3 cycles, want 1/3", protos[1].got, e.Delayed())
+	}
+}
+
+func TestComposeFirstNonDeliverVerdictWins(t *testing.T) {
+	r := rng.New(1)
+	m := Compose(nil, FilterLinks(SplitGroups(2)), fateModel{Verdict{Fate: FateCorrupt}})
+	if v := m.Judge(0, 1, r); v.Fate != FateDrop {
+		t.Fatalf("cross-island leg: fate=%v, want FateDrop from the filter", v.Fate)
+	}
+	if v := m.Judge(0, 2, r); v.Fate != FateCorrupt {
+		t.Fatalf("same-island leg: fate=%v, want the later model's FateCorrupt", v.Fate)
+	}
+	if Compose() != nil || Compose(nil, nil) != nil {
+		t.Fatal("empty composition must be nil (no model)")
+	}
+	single := LossyLinks{Loss: 1}
+	if got := Compose(nil, single); got != NetModel(single) {
+		t.Fatalf("single-model composition must return it unwrapped, got %T", got)
+	}
+}
+
+// recyclePayloadT counts its recycles, guarding the delay queue's payload
+// ownership: a delayed payload is recycled exactly once, at the end of
+// the cycle that finally routed it, never while it waits in the queue.
+type recycleCounter struct {
+	recycles *int
+}
+
+func (r *recycleCounter) Recycle() { *r.recycles++ }
+
+type recycleProto struct {
+	next     NodeID
+	recycles *int
+}
+
+func (p *recycleProto) Propose(n *Node, px *Proposals) {
+	px.Send(p.next, 0, &recycleCounter{recycles: p.recycles})
+}
+
+func (p *recycleProto) Receive(n *Node, ax *ApplyContext, msg Message) {}
+
+func TestDelayedPayloadRecycledExactlyOnce(t *testing.T) {
+	e := NewEngine(37)
+	var recycles int
+	e.SetNodeFactory(func(nd *Node) {
+		nd.Protocols = []Protocol{&recycleProto{next: (nd.ID + 1) % 4, recycles: &recycles}}
+	})
+	e.AddNodes(4)
+	e.SetNetModel(fateModel{Verdict{Fate: FateDelay, Delay: 1}})
+	e.Run(3)
+	// Cycles 0..2 propose 4 payloads each; cycle-0 and cycle-1 payloads
+	// were released and recycled, cycle-2 payloads still sit in the queue.
+	if recycles != 8 {
+		t.Fatalf("recycles=%d after 3 cycles, want 8 (4 still queued)", recycles)
+	}
+	e.Run(1)
+	if recycles != 12 {
+		t.Fatalf("recycles=%d after 4 cycles, want 12", recycles)
+	}
+}
+
+// TestNetModelWorkerGridInvariance: a composed model — i.i.d. loss+delay,
+// regional outages ticking a Markov chain, and all three Byzantine
+// behaviors — must leave the trace bit-identical across the propose×apply
+// worker grid. The per-node receive sequence (sender order and payload
+// kinds) is the trace evidence; the counters seal the totals.
+func TestNetModelWorkerGridInvariance(t *testing.T) {
+	type trace struct {
+		Payloads                               [][]string
+		Delivered, Dropped, Delayed, Corrupted int64
+	}
+	run := func(pw, aw int) trace {
+		e, protos := buildRecordRing(38, 12)
+		e.SetWorkers(pw)
+		e.SetApplyWorkers(aw)
+		byz := NewByzantine()
+		byz.Set(2, ByzDrop)
+		byz.Set(3, ByzDelay)
+		byz.Set(5, ByzCorrupt)
+		e.SetNetModel(Compose(
+			byz,
+			NewRegionalOutage(3, 0.2, 0.5),
+			LossyLinks{Loss: 0.2, DelayMin: 0, DelayMax: 2},
+		))
+		e.Run(20)
+		tr := trace{
+			Delivered: e.Delivered(), Dropped: e.Dropped(),
+			Delayed: e.Delayed(), Corrupted: e.Corrupted(),
+		}
+		for _, p := range protos {
+			seq := make([]string, len(p.payloads))
+			for i, d := range p.payloads {
+				seq[i] = fmt.Sprintf("%v", d)
+			}
+			tr.Payloads = append(tr.Payloads, seq)
+		}
+		e.Close()
+		return tr
+	}
+	want := run(1, 1)
+	if want.Delayed == 0 || want.Corrupted == 0 || want.Dropped == 0 {
+		t.Fatalf("test not exercising the model: %+v", want)
+	}
+	for _, pw := range []int{2, 8} {
+		for _, aw := range []int{1, 2, 8} {
+			if got := run(pw, aw); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trace diverged at propose=%d apply=%d:\n got %+v\nwant %+v", pw, aw, got, want)
+			}
+		}
+	}
+}

@@ -114,9 +114,22 @@ type Engine struct {
 
 	// filter, when non-nil, gates message delivery (network partitions).
 	filter DeliveryFilter
+	// netmod, when non-nil, judges every deliverable leg (loss, delay,
+	// corruption, Byzantine behaviors; see netmodel.go); netRNG is its
+	// dedicated stream, split lazily from the engine RNG on the first
+	// SetNetModel so model-free runs keep their historical traces.
+	netmod NetModel
+	netRNG *rng.RNG
+	// delayQ holds delayed legs until their release cycle; each re-enters
+	// the canonical list of the cycle it is released into.
+	delayQ []delayedMsg
 	// delivered/dropped count apply-phase deliveries and messages lost to
-	// dead destinations or the delivery filter, reply legs included.
+	// dead destinations or the delivery filter, reply legs included;
+	// delayed/corrupted count the net model's delay and corruption
+	// verdicts (a corrupted leg also counts as dropped, a delayed one as
+	// delivered or dropped at its actual delivery).
 	delivered, dropped int64
+	delayed, corrupted int64
 
 	// observers run after every cycle.
 	observers []Observer
@@ -158,6 +171,13 @@ type Engine struct {
 	liveRebuilds             int64
 	// stats is the atomic snapshot behind Engine.Stats.
 	stats engineStats
+}
+
+// delayedMsg is one leg held back by a FateDelay verdict: the message,
+// carrying its payload, and the cycle whose apply phase re-admits it.
+type delayedMsg struct {
+	release int64
+	msg     Message
 }
 
 // applyJob is one routed message of an apply round: the node that must
@@ -208,6 +228,24 @@ func (e *Engine) SetChurn(c ChurnModel) { e.churn = c }
 // messages to dead nodes: the sender's Undeliverable hook fires.
 func (e *Engine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
 
+// SetNetModel installs (or, with nil, removes) the per-link network model
+// judging every deliverable leg after the delivery filter (see
+// netmodel.go for the fates and the determinism argument). The first
+// installation splits a dedicated RNG stream off the engine RNG — one
+// engine-stream draw, made exactly once per engine and only for runs that
+// ever install a model, so model-free traces are bit-identical to
+// historical ones. Swapping models mid-run keeps the stream: a scripted
+// model change is itself deterministic.
+func (e *Engine) SetNetModel(m NetModel) {
+	e.netmod = m
+	if m != nil && e.netRNG == nil {
+		e.netRNG = e.rng.Split()
+	}
+}
+
+// NetModelInstalled reports whether a net model is currently judging legs.
+func (e *Engine) NetModelInstalled() bool { return e.netmod != nil }
+
 // Delivered returns the count of apply-phase messages delivered to a live,
 // reachable destination (reply legs included). Coordinator-side accessor:
 // like every counter it is also folded into the Stats snapshot, which is
@@ -215,9 +253,19 @@ func (e *Engine) SetDeliveryFilter(f DeliveryFilter) { e.filter = f }
 func (e *Engine) Delivered() int64 { return e.delivered }
 
 // Dropped returns the count of apply-phase messages lost to a dead
-// destination or to the delivery filter (partitions), reply legs included.
-// Coordinator-side accessor; concurrent readers use Stats.
+// destination, to the delivery filter (partitions), or to a net-model
+// drop/blackhole/corrupt verdict, reply legs included. Coordinator-side
+// accessor; concurrent readers use Stats.
 func (e *Engine) Dropped() int64 { return e.dropped }
+
+// Delayed returns the count of legs the net model held back for later
+// cycles. Coordinator-side accessor; concurrent readers use Stats.
+func (e *Engine) Delayed() int64 { return e.delayed }
+
+// Corrupted returns the count of legs the net model garbled (each also
+// counted in Dropped). Coordinator-side accessor; concurrent readers use
+// Stats.
+func (e *Engine) Corrupted() int64 { return e.corrupted }
 
 // SetWorkers sets the number of pool workers stepping nodes during the
 // propose phase (values < 1 mean 1) — and, unless SetApplyWorkers has
@@ -443,6 +491,11 @@ func (e *Engine) RunCycle() bool {
 	if e.churn != nil {
 		e.churn.Apply(e)
 	}
+	// Stateful net models (RegionalOutage's Markov chains) advance once
+	// per cycle, on the coordinator, from the model's dedicated stream.
+	if t, ok := e.netmod.(NetTicker); ok {
+		t.Tick(e.cycle, e.netRNG)
+	}
 
 	// Snapshot the live population: churn is done for this cycle and
 	// handlers cannot crash nodes, so liveness is frozen through both
@@ -505,6 +558,23 @@ func (e *Engine) RunCycle() bool {
 	for w := range outs {
 		msgs = append(msgs, outs[w].msgs...)
 	}
+	// Released delayed legs join before the canonical shuffle, so their
+	// position in this cycle's delivery order is as seed-determined as
+	// everyone else's. The queue compacts in place; vacated tail slots are
+	// cleared so a released payload is pinned by nothing but the canonical
+	// list that now owns (and will recycle) it.
+	if len(e.delayQ) > 0 {
+		q := e.delayQ[:0]
+		for _, d := range e.delayQ {
+			if d.release <= e.cycle {
+				msgs = append(msgs, d.msg)
+			} else {
+				q = append(q, d)
+			}
+		}
+		clear(e.delayQ[len(q):])
+		e.delayQ = q
+	}
 	e.msgScratch = msgs
 	e.rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
 	depth := 0
@@ -541,15 +611,48 @@ func (e *Engine) RunCycle() bool {
 // feedback a real initiator would get from a timed-out connection), moving
 // the Delivered/Dropped counters deterministically. The delivery filter is
 // consulted here, at delivery time, so a partition installed mid-run also
-// blocks messages proposed earlier in the same cycle. A nil node means the
-// message has no handler at all (dropped with a nonexistent sender).
-func (e *Engine) route(m Message) (*Node, bool) {
-	if dst := e.arena.at(m.To); dst != nil && dst.Alive && !e.filter.blocked(m.From, m.To) {
-		e.delivered++
-		return dst, true
+// blocks messages proposed earlier in the same cycle; the net model (when
+// installed) judges what the filter let through. slot points into the
+// round buffer — route owns that slot's Data: a delayed leg moves the
+// payload into the delay queue and nils the slot so end-of-cycle recycling
+// skips it, and a corrupted leg dispatches a Corrupted copy while the slot
+// keeps the original for recycling. The returned message is the one to
+// dispatch; a nil node means no handler fires at all (no sender exists, a
+// blackhole swallowed the leg, or the leg was delayed).
+func (e *Engine) route(slot *Message) (*Node, Message, bool) {
+	m := *slot
+	dst := e.arena.at(m.To)
+	if dst == nil || !dst.Alive || e.filter.blocked(m.From, m.To) {
+		e.dropped++
+		return e.arena.at(m.From), m, false
 	}
-	e.dropped++
-	return e.arena.at(m.From), false
+	if e.netmod != nil && m.From != m.To && !m.redelivered {
+		switch v := e.netmod.Judge(m.From, m.To, e.netRNG); v.Fate {
+		case FateDrop:
+			e.dropped++
+			return e.arena.at(m.From), m, false
+		case FateBlackhole:
+			e.dropped++
+			return nil, m, false
+		case FateDelay:
+			d := v.Delay
+			if d < 1 {
+				d = 1
+			}
+			e.delayed++
+			m.redelivered = true
+			e.delayQ = append(e.delayQ, delayedMsg{release: e.cycle + d, msg: m})
+			slot.Data = nil
+			return nil, m, false
+		case FateCorrupt:
+			e.corrupted++
+			e.dropped++
+			m.Data = Corrupted{}
+			return dst, m, true
+		}
+	}
+	e.delivered++
+	return dst, m, true
 }
 
 // dispatch invokes the handling node's protocol for one routed message.
@@ -604,8 +707,8 @@ func (e *Engine) applyRound(round []Message) []followUp {
 		// classify-then-handle split and skips materializing jobs.
 		ax := &ctxs[0]
 		ax.reset(e, e.cycle)
-		for i, m := range round {
-			if n, deliver := e.route(m); n != nil {
+		for i := range round {
+			if n, m, deliver := e.route(&round[i]); n != nil {
 				e.applyJobs++
 				dispatch(n, ax, m, i, deliver)
 			}
@@ -679,8 +782,8 @@ func (e *Engine) shardRound(round []Message, workers int) {
 	// pass O(messages), not O(population)).
 	jobs := e.jobScratch[:0]
 	touched := e.touched[:0]
-	for i, m := range round {
-		n, deliver := e.route(m)
+	for i := range round {
+		n, m, deliver := e.route(&round[i])
 		if n == nil {
 			continue
 		}

@@ -27,9 +27,16 @@ type EngineStats struct {
 	// Delivered counts apply-phase messages delivered to a live,
 	// reachable destination, reply legs included.
 	Delivered int64 `json:"delivered"`
-	// Dropped counts apply-phase messages lost to a dead destination or
-	// the delivery filter (partitions), reply legs included.
+	// Dropped counts apply-phase messages lost to a dead destination, the
+	// delivery filter (partitions), or a net-model drop/blackhole/corrupt
+	// verdict, reply legs included.
 	Dropped int64 `json:"dropped"`
+	// Delayed counts legs the net model held back for later cycles; each
+	// moves Delivered or Dropped at its actual delivery.
+	Delayed int64 `json:"delayed"`
+	// Corrupted counts legs the net model garbled in transit, each also
+	// counted in Dropped (a corrupted leg is never Delivered).
+	Corrupted int64 `json:"corrupted"`
 	// Evals is the engine-maintained objective-evaluation count.
 	Evals int64 `json:"evals"`
 	// ProposeNanos is the cumulative wall time of the parallel propose
@@ -101,6 +108,7 @@ func (s EngineStats) FreeListHitRate() float64 {
 // float accumulator travels as its IEEE bits.
 type engineStats struct {
 	cycles, delivered, dropped, evals atomic.Int64
+	delayed, corrupted                atomic.Int64
 	proposeNanos, applyNanos          atomic.Int64
 	applyRounds, applyJobs            atomic.Int64
 	shardedRounds, shardMin, shardMax atomic.Int64
@@ -117,6 +125,8 @@ func (e *Engine) publishStats() {
 	s.cycles.Store(e.cycle)
 	s.delivered.Store(e.delivered)
 	s.dropped.Store(e.dropped)
+	s.delayed.Store(e.delayed)
+	s.corrupted.Store(e.corrupted)
 	s.evals.Store(e.evals)
 	s.proposeNanos.Store(e.proposeNanos)
 	s.applyNanos.Store(e.applyNanos)
@@ -141,6 +151,8 @@ func (e *Engine) Stats() EngineStats {
 		Cycles:         s.cycles.Load(),
 		Delivered:      s.delivered.Load(),
 		Dropped:        s.dropped.Load(),
+		Delayed:        s.delayed.Load(),
+		Corrupted:      s.corrupted.Load(),
 		Evals:          s.evals.Load(),
 		ProposeNanos:   s.proposeNanos.Load(),
 		ApplyNanos:     s.applyNanos.Load(),
