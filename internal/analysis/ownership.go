@@ -26,7 +26,14 @@ import (
 // harmless. The Recycle rule requires every direct reference-typed field
 // (pointer, slice, map, chan, func, interface) of the receiver struct to
 // be assigned somewhere in the method body (nil, or s[:0] to keep warm
-// capacity), or the whole receiver to be reset with *r = T{}.
+// capacity), or the whole receiver to be reset with *r = T{...}.
+//
+// One field kind is exempt from the reset rule: a home-pool back-pointer,
+// i.e. a field of type *sim.FreeList[...]. Generic payloads (PR 10) carry
+// one because a generic type has no package-level pool per instantiation;
+// the pointer must SURVIVE Recycle — resetting it to nil would orphan the
+// payload on its next recycle — and it references only the process-shared
+// pool, never a previous cycle's data, so keeping it pins nothing.
 var Ownership = &Analyzer{
 	Name: "ownership",
 	Doc: "flags payload use-after-send (sent-exactly-once contract) and " +
@@ -238,6 +245,11 @@ func checkRecycle(pass *Pass, fd *ast.FuncDecl) {
 	for i := 0; i < st.NumFields(); i++ {
 		f := st.Field(i)
 		if !referenceType(f.Type()) || assigned[f.Name()] {
+			continue
+		}
+		// Home-pool back-pointers are exempt (and must survive the reset):
+		// they reference the payload's own free list, not cycle data.
+		if namedTypeIn(f.Type(), simPackageName, "FreeList") {
 			continue
 		}
 		pass.Reportf(fd.Name.Pos(), "Recycle leaves reference field %s unreset: a recycled payload pins the previous cycle's %s (reset slices to [:0], nil everything else)", f.Name(), f.Name())

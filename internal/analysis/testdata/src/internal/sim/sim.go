@@ -41,6 +41,16 @@ func (ax *ApplyContext) Cycle() int64 { return 0 }
 // Proposals is the restricted per-node context of the propose phase.
 type Proposals struct{}
 
+// FreeList is a typed payload free list (home-pool back-pointer fields of
+// this type are exempt from the Recycle reset rule).
+type FreeList[T any] struct{ items []*T }
+
+// Get returns a recycled or fresh payload.
+func (f *FreeList[T]) Get() *T { return new(T) }
+
+// Put returns a payload to the list.
+func (f *FreeList[T]) Put(p *T) { f.items = append(f.items, p) }
+
 // Send proposes a payload for delivery; ownership transfers.
 func (px *Proposals) Send(to NodeID, slot int, data any) {}
 

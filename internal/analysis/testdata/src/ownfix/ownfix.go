@@ -74,3 +74,27 @@ type Blanked struct {
 func (b *Blanked) Recycle() {
 	*b = Blanked{}
 }
+
+type Homed struct {
+	Buf  []byte
+	home *sim.FreeList[Homed]
+}
+
+// Recycle keeps the home-pool back-pointer across a field-wise reset:
+// clean — the exemption for *sim.FreeList fields, which must survive so
+// the payload can find its pool on the next recycle.
+func (h *Homed) Recycle() {
+	h.Buf = h.Buf[:0]
+	h.home.Put(h)
+}
+
+type HomedLeaky struct {
+	Peer *Payload
+	home *sim.FreeList[HomedLeaky]
+}
+
+// Recycle keeps home (exempt) but also forgets Peer: still flagged — the
+// exemption is per-field, not a blanket pass for pooled payloads.
+func (h *HomedLeaky) Recycle() { // want "leaves reference field Peer unreset"
+	h.home.Put(h)
+}

@@ -41,16 +41,35 @@ type Average struct {
 }
 
 // avgReq is the pairwise averaging proposal, carrying the initiator's
-// value at propose time.
+// value at propose time. Payloads are drawn from a package-level free
+// list and recycled by the engine at cycle end — a scalar in a boxed
+// interface still costs one heap allocation per exchange when allocated
+// fresh, which at n = 10^6 dominates the protocol's footprint.
 type avgReq struct {
 	V float64
 }
 
+var avgReqPool sim.FreeList[avgReq]
+
+// Recycle implements sim.Recyclable.
+func (r *avgReq) Recycle() {
+	*r = avgReq{}
+	avgReqPool.Put(r)
+}
+
 // avgDelta is the settle leg: the delta the initiator must apply to its
 // own value (the opposite of the receiver's move), keeping the pair's sum
-// exactly unchanged.
+// exactly unchanged. Pooled like avgReq.
 type avgDelta struct {
 	D float64
+}
+
+var avgDeltaPool sim.FreeList[avgDelta]
+
+// Recycle implements sim.Recyclable.
+func (d *avgDelta) Recycle() {
+	*d = avgDelta{}
+	avgDeltaPool.Put(d)
 }
 
 var (
@@ -77,7 +96,9 @@ func (a *Average) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	a.Exchanges++
-	px.Send(peerID, a.SelfSlot, avgReq{V: a.value})
+	req := avgReqPool.Get()
+	req.V = a.value
+	px.Send(peerID, a.SelfSlot, req)
 }
 
 // Receive implements sim.Receiver, node-locally. On the initiating leg the
@@ -87,11 +108,13 @@ func (a *Average) Propose(n *sim.Node, px *sim.Proposals) {
 // under any interleaving.
 func (a *Average) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch req := msg.Data.(type) {
-	case avgReq:
+	case *avgReq:
 		d := (req.V - a.value) / 2
 		a.value += d
-		ax.Send(msg.From, msg.Slot, avgDelta{D: -d})
-	case avgDelta:
+		rep := avgDeltaPool.Get()
+		rep.D = -d
+		ax.Send(msg.From, msg.Slot, rep)
+	case *avgDelta:
 		a.value += req.D
 	}
 }
@@ -103,9 +126,9 @@ func (a *Average) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 // its own move, negated), restoring the sum invariant.
 func (a *Average) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch req := msg.Data.(type) {
-	case avgReq:
+	case *avgReq:
 		a.Lost++
-	case avgDelta:
+	case *avgDelta:
 		a.value += req.D
 	}
 }
@@ -161,18 +184,37 @@ func (a *Aggregate) Propose(n *sim.Node, px *sim.Proposals) {
 		return
 	}
 	a.Exchanges++
-	px.Send(peerID, a.SelfSlot, aggReq{V: a.value})
+	req := aggReqPool.Get()
+	req.V = a.value
+	px.Send(peerID, a.SelfSlot, req)
 }
 
 // aggReq is the combining proposal, carrying the initiator's value at
-// propose time; aggVal is the reply carrying the combined result.
+// propose time; aggVal is the reply carrying the combined result. Both are
+// pooled like Average's payloads.
 type aggReq struct {
 	V float64
+}
+
+var aggReqPool sim.FreeList[aggReq]
+
+// Recycle implements sim.Recyclable.
+func (r *aggReq) Recycle() {
+	*r = aggReq{}
+	aggReqPool.Put(r)
 }
 
 // aggVal is the reply leg of an Aggregate exchange.
 type aggVal struct {
 	V float64
+}
+
+var aggValPool sim.FreeList[aggVal]
+
+// Recycle implements sim.Recyclable.
+func (v *aggVal) Recycle() {
+	*v = aggVal{}
+	aggValPool.Put(v)
 }
 
 // Receive implements sim.Receiver, node-locally: the contacted peer
@@ -182,10 +224,12 @@ type aggVal struct {
 // as in an inline exchange.
 func (a *Aggregate) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch req := msg.Data.(type) {
-	case aggReq:
+	case *aggReq:
 		a.value = a.Combine(a.value, req.V)
-		ax.Send(msg.From, msg.Slot, aggVal{V: a.value})
-	case aggVal:
+		rep := aggValPool.Get()
+		rep.V = a.value
+		ax.Send(msg.From, msg.Slot, rep)
+	case *aggVal:
 		a.value = a.Combine(a.value, req.V)
 	}
 }
@@ -194,7 +238,7 @@ func (a *Aggregate) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) 
 // lost reply leg (one-way partition) leaves a one-sided combine, which is
 // harmless for idempotent combiners.
 func (a *Aggregate) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
-	if _, initiated := msg.Data.(aggReq); initiated {
+	if _, initiated := msg.Data.(*aggReq); initiated {
 		a.Lost++
 	}
 }

@@ -14,6 +14,9 @@
 package gossip
 
 import (
+	"reflect"
+	"sync"
+
 	"gossipopt/internal/overlay"
 	"gossipopt/internal/sim"
 )
@@ -82,20 +85,68 @@ type AntiEntropy[T any] struct {
 	// transit (DropProb, dead peer, or network partition). Updated counts
 	// adoptions of a remote value (on either side).
 	Sent, Lost, Updated int64
+
+	// pools caches the shared free lists for this T instantiation, fetched
+	// lazily from the process-global registry on first use (node-local
+	// state: only the node's own worker touches it).
+	pools *aePools[T]
+}
+
+// aePools bundles the payload free lists of one instantiation of the
+// generic exchange payloads. A generic payload cannot draw from a plain
+// package-level pool (there is no package variable per T), so every
+// AntiEntropy[T] of the same T shares one aePools[T] through a
+// process-global registry keyed by the instantiated type.
+type aePools[T any] struct {
+	req sim.FreeList[aeReq[T]]
+	val sim.FreeList[aeVal[T]]
+}
+
+// aePoolRegistry maps each instantiated *aePools[T] type to its shared
+// singleton.
+var aePoolRegistry sync.Map
+
+// aePoolsFor returns the shared pools for T, creating them on first use.
+func aePoolsFor[T any]() *aePools[T] {
+	key := reflect.TypeOf((*aePools[T])(nil))
+	if v, ok := aePoolRegistry.Load(key); ok {
+		return v.(*aePools[T])
+	}
+	v, _ := aePoolRegistry.LoadOrStore(key, &aePools[T]{})
+	return v.(*aePools[T])
 }
 
 // aeReq is the exchange proposal: the initiator's mode plus — for push and
-// push-pull — a snapshot of its value at propose time.
+// push-pull — a snapshot of its value at propose time. home points back to
+// the free list the payload was drawn from; Recycle keeps it across the
+// reset (the documented back-pointer exemption to the reset-everything
+// rule) so the payload returns to the right instantiation's pool.
 type aeReq[T any] struct {
 	Mode Mode
 	V    T
 	Has  bool
+	home *sim.FreeList[aeReq[T]]
+}
+
+// Recycle implements sim.Recyclable.
+func (r *aeReq[T]) Recycle() {
+	home := r.home
+	*r = aeReq[T]{home: home}
+	home.Put(r)
 }
 
 // aeVal is the reply leg: the contacted peer's value, offered back to the
-// initiator (the pull half of pull and push-pull).
+// initiator (the pull half of pull and push-pull). Pooled like aeReq.
 type aeVal[T any] struct {
-	V T
+	V    T
+	home *sim.FreeList[aeVal[T]]
+}
+
+// Recycle implements sim.Recyclable.
+func (v *aeVal[T]) Recycle() {
+	home := v.home
+	*v = aeVal[T]{home: home}
+	home.Put(v)
 }
 
 var (
@@ -142,7 +193,11 @@ func (a *AntiEntropy[T]) Propose(n *sim.Node, px *sim.Proposals) {
 		a.Lost++
 		return // lost in transit; diffusion merely slows down
 	}
-	req := aeReq[T]{Mode: a.Mode}
+	if a.pools == nil {
+		a.pools = aePoolsFor[T]()
+	}
+	req := a.pools.req.Get()
+	req.Mode, req.home = a.Mode, &a.pools.req
 	if a.Mode != Pull && a.has {
 		req.V, req.Has = a.local, true
 	}
@@ -157,7 +212,7 @@ func (a *AntiEntropy[T]) Propose(n *sim.Node, px *sim.Proposals) {
 // sides end with the better value, exactly as in an inline exchange.
 func (a *AntiEntropy[T]) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
 	switch req := msg.Data.(type) {
-	case aeReq[T]:
+	case *aeReq[T]:
 		if req.Has {
 			a.Offer(req.V)
 		}
@@ -168,9 +223,14 @@ func (a *AntiEntropy[T]) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Mess
 		// something — q holds a value and the push leg did not already
 		// carry one at least as good.
 		if a.has && (!req.Has || a.Better(a.local, req.V)) {
-			ax.Send(msg.From, a.SelfSlot, aeVal[T]{V: a.local})
+			if a.pools == nil {
+				a.pools = aePoolsFor[T]()
+			}
+			rep := a.pools.val.Get()
+			rep.V, rep.home = a.local, &a.pools.val
+			ax.Send(msg.From, a.SelfSlot, rep)
 		}
-	case aeVal[T]:
+	case *aeVal[T]:
 		a.Offer(req.V)
 	}
 }
@@ -180,7 +240,7 @@ func (a *AntiEntropy[T]) Receive(n *sim.Node, ax *sim.ApplyContext, msg sim.Mess
 // (one-way partition) loses only the pull half and is not a lost
 // initiation, so it does not count.
 func (a *AntiEntropy[T]) Undelivered(n *sim.Node, ax *sim.ApplyContext, msg sim.Message) {
-	if _, initiated := msg.Data.(aeReq[T]); initiated {
+	if _, initiated := msg.Data.(*aeReq[T]); initiated {
 		a.Lost++
 	}
 }

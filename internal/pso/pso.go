@@ -229,7 +229,10 @@ func (s *Swarm) Best() ([]float64, float64) { return s.g, s.fg }
 
 // Inject offers a remote best (the coordination service's gossip payload).
 // It is adopted as the swarm optimum when strictly better; it reports
-// whether adoption happened.
+// whether adoption happened. The position is copied into the swarm-owned
+// buffer in place — gossip hands a node many adoptions per run, and a
+// fresh clone per adoption was a measurable share of steady-state
+// allocations at large populations.
 func (s *Swarm) Inject(x []float64, fx float64) bool {
 	if s.g != nil && fx >= s.fg {
 		return false
@@ -237,7 +240,11 @@ func (s *Swarm) Inject(x []float64, fx float64) bool {
 	if len(x) != s.dim {
 		return false
 	}
-	s.g = vec.Clone(x)
+	if s.g == nil {
+		s.g = vec.Clone(x)
+	} else {
+		copy(s.g, x)
+	}
 	s.fg = fx
 	return true
 }

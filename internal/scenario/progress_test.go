@@ -17,6 +17,10 @@ import (
 func stripWorkerVariantStats(s *sim.EngineStats) {
 	s.ProposeNanos, s.ApplyNanos = 0, 0
 	s.ShardedRounds, s.ShardMinLoad, s.ShardMaxLoad, s.ShardMeanLoad = 0, 0, 0, 0
+	// ApplyBatches is worker-variant by design: the single-worker fused
+	// apply path never materializes batches, so the counter moves only on
+	// sharded rounds.
+	s.ApplyBatches = 0
 	s.PoolTasks = 0
 	s.FreeListHits, s.FreeListMisses = 0, 0
 }

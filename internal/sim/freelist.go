@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -27,10 +28,20 @@ import (
 //     recycle it).
 //   - Recycle must reset slice fields to length zero (keeping capacity —
 //     that reuse is the whole point) and nil out aliases it does not own.
+//     A payload carrying a home-pool back-pointer (generic payloads whose
+//     free list cannot be a package variable) keeps that one field across
+//     the reset; the ownership analyzer knows the exemption.
 //
-// The engine recycles on the coordinator; Get runs on parallel propose and
-// apply workers, which is why the free list wraps sync.Pool rather than a
-// plain slice.
+// The list holds strong references in mutex-guarded per-shard stacks, NOT
+// a sync.Pool: pool contents are released at every GC, and a million-node
+// cycle that still allocates makes GCs frequent enough that the pool was
+// observed near-empty every cycle — each miss re-allocating both the
+// payload and its interior slices, which itself sustained the GC pressure.
+// Strong references break that feedback loop. The lists cannot grow
+// without bound: the engine recycles exactly the payloads a cycle sent, so
+// a list's size is bounded by the peak number of in-flight payloads of its
+// type. Sharding (with a round-robin cursor) keeps Get/Put cheap when
+// propose or apply workers draw concurrently.
 
 // Recyclable is the opt-in recycling contract for message payloads. The
 // engine calls Recycle exactly once per sent payload, at the end of the
@@ -39,10 +50,21 @@ type Recyclable interface {
 	Recycle()
 }
 
+// flShards is the number of stacks a FreeList spreads its payloads over —
+// a small power of two so the cursor masks instead of dividing.
+const flShards = 8
+
 // FreeList is a typed free list of payload structs, safe for concurrent
 // use. The zero value is ready to use.
 type FreeList[T any] struct {
-	pool sync.Pool
+	next   atomic.Uint32
+	shards [flShards]flShard[T]
+}
+
+// flShard is one mutex-guarded stack of recycled payloads.
+type flShard[T any] struct {
+	mu    sync.Mutex
+	items []*T
 }
 
 // Free-list hit/miss instrumentation. Free lists are package-level pools
@@ -65,15 +87,78 @@ func EnableFreeListStats(on bool) { flStatsOn.Store(on) }
 // from a recycled payload (hits) and Gets that allocated fresh (misses).
 func FreeListStats() (hits, misses int64) { return flHits.Load(), flMisses.Load() }
 
+// Double-release detection. The ownership rules make "send exactly once"
+// the caller's obligation; a violation corrupts state at a distance (two
+// nodes handing out the same payload). The detector is opt-in like the
+// stats: off (the default), Get and Put pay one atomic load each; on, every
+// outstanding payload pointer is tracked in a process-global set and a
+// second release of the same pointer panics at the Put, naming the type —
+// at the misuse site, not at the eventual corruption.
+var (
+	flDebugOn  atomic.Bool
+	flDebugMu  sync.Mutex
+	flDebugSet map[any]struct{}
+)
+
+// EnableFreeListDebug turns the process-global double-release detector on
+// or off. Enabling starts with an empty tracking set, so only releases
+// after the call are checked; disabling drops the set.
+func EnableFreeListDebug(on bool) {
+	flDebugMu.Lock()
+	defer flDebugMu.Unlock()
+	if on {
+		flDebugSet = make(map[any]struct{})
+	} else {
+		flDebugSet = nil
+	}
+	flDebugOn.Store(on)
+}
+
+// flDebugTrack records p as released, panicking if it already was.
+func flDebugTrack(p any) {
+	flDebugMu.Lock()
+	defer flDebugMu.Unlock()
+	if flDebugSet == nil {
+		return
+	}
+	if _, dup := flDebugSet[p]; dup {
+		panic(fmt.Sprintf("sim: free-list double release of %T payload", p))
+	}
+	flDebugSet[p] = struct{}{}
+}
+
+// flDebugUntrack forgets p when it leaves the list through Get.
+func flDebugUntrack(p any) {
+	flDebugMu.Lock()
+	defer flDebugMu.Unlock()
+	delete(flDebugSet, p)
+}
+
 // Get returns a recycled *T, or a freshly allocated zero value when the
 // list is empty. Recycled values keep whatever the type's Recycle method
-// left in them (by convention: zero-length slices with warm capacity).
+// left in them (by convention: zero-length slices with warm capacity). The
+// round-robin cursor spreads concurrent callers over the shards; an empty
+// shard falls through to the others before allocating, so payloads are
+// never stranded by an unlucky cursor.
 func (f *FreeList[T]) Get() *T {
-	if v := f.pool.Get(); v != nil {
-		if flStatsOn.Load() {
-			flHits.Add(1)
+	start := f.next.Add(1)
+	for i := uint32(0); i < flShards; i++ {
+		s := &f.shards[(start+i)&(flShards-1)]
+		s.mu.Lock()
+		if n := len(s.items); n > 0 {
+			p := s.items[n-1]
+			s.items[n-1] = nil
+			s.items = s.items[:n-1]
+			s.mu.Unlock()
+			if flStatsOn.Load() {
+				flHits.Add(1)
+			}
+			if flDebugOn.Load() {
+				flDebugUntrack(p)
+			}
+			return p
 		}
-		return v.(*T)
+		s.mu.Unlock()
 	}
 	if flStatsOn.Load() {
 		flMisses.Add(1)
@@ -83,17 +168,28 @@ func (f *FreeList[T]) Get() *T {
 
 // Put returns p to the free list. Callers normally do not call Put
 // directly: the payload's Recycle method does, and the engine calls
-// Recycle at cycle end.
+// Recycle at cycle end. With the debug detector enabled, a second Put of
+// the same pointer without an intervening Get panics.
 func (f *FreeList[T]) Put(p *T) {
-	if p != nil {
-		f.pool.Put(p)
+	if p == nil {
+		return
 	}
+	if flDebugOn.Load() {
+		flDebugTrack(p)
+	}
+	s := &f.shards[f.next.Add(1)&(flShards-1)]
+	s.mu.Lock()
+	s.items = append(s.items, p)
+	s.mu.Unlock()
 }
 
 // recyclePayload returns a message's payload to its free list when the
-// payload opted in.
-func recyclePayload(m *Message) {
+// payload opted in, reporting whether it did (the PayloadsRecycled
+// counter).
+func recyclePayload(m *Message) bool {
 	if r, ok := m.Data.(Recyclable); ok {
 		r.Recycle()
+		return true
 	}
+	return false
 }

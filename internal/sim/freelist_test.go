@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+type flTestPayload struct {
+	buf []byte
+}
+
+func (p *flTestPayload) Recycle() { p.buf = p.buf[:0] }
+
+// TestFreeListSurvivesGC pins the property the sync.Pool-backed
+// implementation lacked: recycled payloads stay recyclable across garbage
+// collections. A million-node cycle allocates enough to trigger GCs
+// mid-run, and pool-backed lists were observed near-empty every cycle —
+// every Get a miss, re-allocating payload plus interior slices and thereby
+// sustaining the very GC pressure that emptied the pool.
+func TestFreeListSurvivesGC(t *testing.T) {
+	var fl FreeList[flTestPayload]
+	const n = 64
+	for i := 0; i < n; i++ {
+		fl.Put(&flTestPayload{buf: make([]byte, 0, 32)})
+	}
+	runtime.GC()
+	runtime.GC()
+
+	EnableFreeListStats(true)
+	defer EnableFreeListStats(false)
+	h0, m0 := FreeListStats()
+	for i := 0; i < n; i++ {
+		p := fl.Get()
+		if cap(p.buf) == 0 {
+			t.Fatalf("Get %d returned a fresh payload (no warm capacity): free list lost items to GC", i)
+		}
+	}
+	h1, m1 := FreeListStats()
+	if got := h1 - h0; got != n {
+		t.Fatalf("hits after GC = %d, want %d", got, n)
+	}
+	if got := m1 - m0; got != 0 {
+		t.Fatalf("misses after GC = %d, want 0", got)
+	}
+}
+
+// TestFreeListGetScansAllShards pins the fall-through: payloads parked on
+// one shard are found even when the round-robin cursor starts elsewhere.
+func TestFreeListGetScansAllShards(t *testing.T) {
+	var fl FreeList[flTestPayload]
+	p := &flTestPayload{buf: make([]byte, 0, 8)}
+	fl.Put(p)
+	for i := 0; i < flShards; i++ {
+		if got := fl.Get(); got == p {
+			return
+		}
+	}
+	t.Fatalf("payload never recovered within %d Gets", flShards)
+}
+
+// TestFreeListDoubleReleaseDetected plants the misuse the ownership rules
+// forbid — recycling the same payload twice without an intervening Get —
+// and proves the opt-in detector panics at the second Put, naming the
+// payload type.
+func TestFreeListDoubleReleaseDetected(t *testing.T) {
+	EnableFreeListDebug(true)
+	defer EnableFreeListDebug(false)
+
+	var fl FreeList[flTestPayload]
+	p := fl.Get()
+	fl.Put(p)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Put of the same payload did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "double release") {
+			t.Fatalf("panic = %v, want a double-release message", r)
+		}
+	}()
+	fl.Put(p) // planted double release
+}
+
+// TestFreeListReleaseAfterReuseAllowed guards the detector against false
+// positives on the legitimate life cycle: Get → Put → Get → Put of one
+// pointer is exactly how recycling is supposed to work.
+func TestFreeListReleaseAfterReuseAllowed(t *testing.T) {
+	EnableFreeListDebug(true)
+	defer EnableFreeListDebug(false)
+
+	var fl FreeList[flTestPayload]
+	p := fl.Get()
+	fl.Put(p)
+	for i := 0; i < flShards; i++ {
+		if fl.Get() == p {
+			fl.Put(p) // second release, but after a Get: legal
+			return
+		}
+	}
+	t.Fatal("payload never came back from the list")
+}

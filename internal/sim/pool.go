@@ -20,9 +20,13 @@ import (
 // The worker goroutines reference only the job channel, never the pool or
 // the engine, so they keep neither reachable.
 type workerPool struct {
-	jobs chan func()
+	jobs chan poolJob
 	size int
 	stop sync.Once
+	// wg is the per-run barrier. The pool is used from one coordinator
+	// goroutine and every run Waits before returning, so one reusable
+	// WaitGroup replaces a per-run allocation.
+	wg sync.WaitGroup
 	// submitted counts jobs handed to pool goroutines over the pool's
 	// lifetime (shard 0 runs on the coordinator and is not counted).
 	// Coordinator-owned like the engine's other accumulators; surfaced
@@ -30,10 +34,21 @@ type workerPool struct {
 	submitted int64
 }
 
+// poolJob is one shard of a phase handed to a pool goroutine: the shard
+// function, the shard index, and the run barrier to signal. Sending a
+// value struct instead of a closure keeps the per-shard submission
+// allocation-free (the fn closure itself is shared by all shards of a
+// run).
+type poolJob struct {
+	fn    func(shard int)
+	shard int
+	wg    *sync.WaitGroup
+}
+
 // newWorkerPool creates an empty pool and registers the finalizer
 // backstop.
 func newWorkerPool() *workerPool {
-	p := &workerPool{jobs: make(chan func())}
+	p := &workerPool{jobs: make(chan poolJob)}
 	runtime.SetFinalizer(p, func(p *workerPool) { p.shutdown() })
 	return p
 }
@@ -41,9 +56,10 @@ func newWorkerPool() *workerPool {
 // grow ensures at least n persistent workers exist.
 func (p *workerPool) grow(n int) {
 	for ; p.size < n; p.size++ {
-		go func(jobs chan func()) {
-			for f := range jobs {
-				f()
+		go func(jobs chan poolJob) {
+			for j := range jobs {
+				j.fn(j.shard)
+				j.wg.Done()
 			}
 		}(p.jobs)
 	}
@@ -60,17 +76,12 @@ func (p *workerPool) run(shards int, fn func(shard int)) {
 	}
 	p.grow(shards - 1)
 	p.submitted += int64(shards - 1)
-	var wg sync.WaitGroup
-	wg.Add(shards - 1)
+	p.wg.Add(shards - 1)
 	for s := 1; s < shards; s++ {
-		s := s
-		p.jobs <- func() {
-			defer wg.Done()
-			fn(s)
-		}
+		p.jobs <- poolJob{fn: fn, shard: s, wg: &p.wg}
 	}
 	fn(0)
-	wg.Wait()
+	p.wg.Wait()
 }
 
 // shutdown terminates the pool's goroutines. Idempotent; the pool must not

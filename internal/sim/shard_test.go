@@ -102,7 +102,9 @@ func TestShardingHotspotGridInvariant(t *testing.T) {
 // directly (machine-independent, unlike wall-clock): several hot nodes
 // sharing an ID residue class pile onto one worker under ID-mod sharding,
 // while the greedy bin-pack spreads them. The per-worker job loads are
-// measured straight off shardRound's buckets.
+// measured straight off shardRound's batch layout (the spans and the
+// batches' jobOrder windows), which also cross-checks that every routed
+// job landed in exactly one batch of exactly one worker.
 func TestBalancedShardingSpreadsHotspots(t *testing.T) {
 	const n, workers, hot = 64, 8, 100
 	e := NewEngine(1)
@@ -123,21 +125,26 @@ func TestBalancedShardingSpreadsHotspots(t *testing.T) {
 
 	maxLoad := func(idMod bool) int {
 		e.idModSharding = idMod
-		if cap(e.applyCtxs) < workers {
-			e.applyCtxs = make([]ApplyContext, workers)
-			e.applyBuckets = make([][]applyJob, workers)
-		}
 		e.shardRound(round, workers)
+		spans := e.batchSpans[:workers+1]
 		m := 0
 		total := 0
-		for _, b := range e.applyBuckets[:workers] {
-			total += len(b)
-			if len(b) > m {
-				m = len(b)
+		for w := 0; w < workers; w++ {
+			load := 0
+			for _, b := range e.batchScratch[spans[w]:spans[w+1]] {
+				load += int(b.hi - b.lo)
+			}
+			if load != e.loads[w] {
+				t.Fatalf("idMod=%v worker %d: batch windows sum to %d jobs, loads says %d",
+					idMod, w, load, e.loads[w])
+			}
+			total += load
+			if load > m {
+				m = load
 			}
 		}
 		if total != len(round) {
-			t.Fatalf("idMod=%v: %d jobs bucketed, want %d", idMod, total, len(round))
+			t.Fatalf("idMod=%v: %d jobs batched, want %d", idMod, total, len(round))
 		}
 		return m
 	}

@@ -138,7 +138,6 @@ type Engine struct {
 	msgScratch    []Message
 	outScratch    []Proposals
 	applyCtxs     []ApplyContext
-	applyBuckets  [][]applyJob
 	jobScratch    []applyJob
 	followScratch []followUp
 	// rounds keeps one buffer per apply round, all retained until
@@ -147,12 +146,24 @@ type Engine struct {
 	// in exactly one round buffer (posted as a follow-up).
 	rounds [][]Message
 
-	// Balanced-sharding scratch (see applyRound): per-node message counts
+	// Batched-dispatch scratch (see shardRound): the routed jobs stay in
+	// jobScratch in canonical order; jobOrder is a permutation of job
+	// indices grouped worker-major and node-contiguous, batchScratch holds
+	// one per-node batch descriptor per distinct handling node, and
+	// batchSpans/batchCursor delimit each worker's run of batches. Workers
+	// receive slice views into these engine-owned buffers, so a round's
+	// dispatch allocates nothing in the steady state.
+	jobOrder     []int32
+	batchScratch []applyBatch
+	batchSpans   []int32
+	batchCursor  []int32
+
+	// Balanced-sharding scratch (see shardRound): per-node message counts
 	// and worker assignments, dense by NodeID, reset via the touched list
 	// so a round costs O(messages + distinct nodes), not O(population).
 	nodeMsgs   []int32
 	nodeWorker []int32
-	touched    []NodeID
+	touched    []*Node
 	loads      []int
 	// idModSharding restores the historical ID-mod shard assignment; a
 	// test/benchmark hook proving balanced sharding changes throughput
@@ -165,6 +176,8 @@ type Engine struct {
 	// cycle.
 	proposeNanos, applyNanos int64
 	applyRounds, applyJobs   int64
+	applyBatches             int64
+	payloadsRecycled         int64
 	shardedRounds            int64
 	shardMinSum, shardMaxSum int64
 	shardMeanSum             float64
@@ -189,6 +202,16 @@ type applyJob struct {
 	deliver bool
 	node    *Node
 	msg     Message
+}
+
+// applyBatch is one contiguous run of a single node's routed jobs inside
+// an apply round: jobOrder[lo:hi] indexes the node's jobs in canonical
+// order. A worker processes whole batches, so per-node setup (the
+// ApplyContext's self field, the node's protocol table) is paid once per
+// batch rather than once per message.
+type applyBatch struct {
+	node   *Node
+	lo, hi int32
 }
 
 // Observer inspects the network after each cycle; returning false stops the
@@ -695,7 +718,6 @@ func (e *Engine) applyRound(round []Message) []followUp {
 	}
 	if cap(e.applyCtxs) < workers {
 		e.applyCtxs = make([]ApplyContext, workers)
-		e.applyBuckets = make([][]applyJob, workers)
 	}
 	ctxs := e.applyCtxs[:workers]
 
@@ -715,15 +737,16 @@ func (e *Engine) applyRound(round []Message) []followUp {
 		}
 	} else {
 		e.shardRound(round, workers)
-		buckets := e.applyBuckets[:workers]
+		jobs, order := e.jobScratch, e.jobOrder
+		batches, spans := e.batchScratch, e.batchSpans[:workers+1]
 		// Per-round shard-load spread (min/mean/max worker load),
 		// accumulated before the workers run: a skewed assignment —
 		// idmod under hotspot traffic — shows up directly as
 		// max >> mean in the Stats snapshot.
-		minLoad, maxLoad, jobs := len(buckets[0]), len(buckets[0]), 0
-		for w := range buckets {
-			l := len(buckets[w])
-			jobs += l
+		loads := e.loads[:workers]
+		minLoad, maxLoad, total := loads[0], loads[0], 0
+		for _, l := range loads {
+			total += l
 			if l < minLoad {
 				minLoad = l
 			}
@@ -731,25 +754,48 @@ func (e *Engine) applyRound(round []Message) []followUp {
 				maxLoad = l
 			}
 		}
-		e.applyJobs += int64(jobs)
+		e.applyJobs += int64(total)
+		e.applyBatches += int64(len(batches))
 		e.shardedRounds++
 		e.shardMinSum += int64(minLoad)
 		e.shardMaxSum += int64(maxLoad)
-		e.shardMeanSum += float64(jobs) / float64(workers)
+		e.shardMeanSum += float64(total) / float64(workers)
 		e.pool.run(workers, func(w int) {
 			ax := &ctxs[w]
 			ax.reset(e, e.cycle)
-			for _, j := range buckets[w] {
-				dispatch(j.node, ax, j.msg, j.idx, j.deliver)
+			// Batched dispatch: one batch per (node, round), its jobs in
+			// canonical order. Per-node setup — the context's sender
+			// identity, the protocol table — is hoisted out of the
+			// per-message loop.
+			for _, b := range batches[spans[w]:spans[w+1]] {
+				n := b.node
+				ax.self = n.ID
+				protos := n.Protocols
+				for _, k := range order[b.lo:b.hi] {
+					j := &jobs[k]
+					if j.msg.Slot >= len(protos) {
+						continue
+					}
+					ax.trigger = j.idx
+					if j.deliver {
+						if r, ok := protos[j.msg.Slot].(Receiver); ok {
+							r.Receive(n, ax, j.msg)
+						}
+					} else if u, ok := protos[j.msg.Slot].(Undeliverable); ok {
+						u.Undelivered(n, ax, j.msg)
+					}
+				}
 			}
 		})
 	}
 
 	// Round barrier: aggregate per-worker eval counts and restore the
-	// sequential follow-up order. Each worker's outbox is already sorted by
-	// trigger (its bucket is processed in ascending canonical order), so a
-	// stable sort across the concatenation reconstructs exactly the order
-	// a single sequential pass would have produced.
+	// sequential follow-up order. Triggers (canonical indices) are unique
+	// per routed message and each message's follow-ups are emitted
+	// contiguously into one worker's outbox, so a stable sort by trigger
+	// across the concatenation reconstructs exactly the order a single
+	// sequential pass would have produced — even though batching means a
+	// worker's outbox is no longer globally trigger-sorted.
 	follows := e.followScratch[:0]
 	for w := range ctxs {
 		e.evals += ctxs[w].evals
@@ -760,17 +806,21 @@ func (e *Engine) applyRound(round []Message) []followUp {
 	return follows
 }
 
-// shardRound classifies a round's messages and distributes the routed jobs
-// into per-worker buckets with size-balanced assignment. Everything runs
-// on the coordinator, so the assignment is deterministic by construction —
-// and because per-node handler order is the only observable, any
-// assignment yields the same trace (the idModSharding hook and the
-// invariance tests pin that down).
+// shardRound classifies a round's messages and lays the routed jobs out as
+// per-node batches grouped by worker. Everything runs on the coordinator,
+// so the assignment is deterministic by construction — and because
+// per-node handler order is the only observable, any assignment yields the
+// same trace (the idModSharding hook and the invariance tests pin that
+// down).
+//
+// The layout is a two-level counting sort over engine-owned scratch, with
+// no per-job copying of Message values: jobs stay in jobScratch in
+// canonical order; jobOrder holds job indices permuted worker-major and
+// node-contiguous (each node's run in canonical order); batchScratch holds
+// one applyBatch per distinct node, in first-appearance order within each
+// worker's batchSpans window. Total cost is O(messages + distinct nodes +
+// workers) per round, and every buffer is reused across rounds and cycles.
 func (e *Engine) shardRound(round []Message, workers int) {
-	buckets := e.applyBuckets[:workers]
-	for w := range buckets {
-		buckets[w] = buckets[w][:0]
-	}
 	if n := e.arena.len(); len(e.nodeMsgs) < n {
 		e.nodeMsgs = make([]int32, n)
 		e.nodeWorker = make([]int32, n)
@@ -789,46 +839,98 @@ func (e *Engine) shardRound(round []Message, workers int) {
 		}
 		jobs = append(jobs, applyJob{idx: i, deliver: deliver, node: n, msg: m})
 		if e.nodeMsgs[n.ID] == 0 {
-			touched = append(touched, n.ID)
+			touched = append(touched, n)
 		}
 		e.nodeMsgs[n.ID]++
 	}
 	e.jobScratch = jobs
 	e.touched = touched
 
+	// Worker assignment, per distinct node, weighted by its message count.
+	// loads doubles as the per-worker job totals the round's shard-load
+	// stats read back in applyRound.
+	if cap(e.loads) < workers {
+		e.loads = make([]int, workers)
+	}
+	loads := e.loads[:workers]
+	clear(loads)
 	if e.idModSharding {
-		for _, j := range jobs {
-			w := int(uint64(j.node.ID) % uint64(workers))
-			buckets[w] = append(buckets[w], j)
+		for _, n := range touched {
+			w := int32(uint64(n.ID) % uint64(workers))
+			e.nodeWorker[n.ID] = w
+			loads[w] += int(e.nodeMsgs[n.ID])
 		}
 	} else {
 		// Greedy bin-pack: assign each distinct node, in first-appearance
 		// order, to the currently least-loaded worker, weighted by its
 		// message count. O(distinct × workers) with small worker counts.
-		if cap(e.loads) < workers {
-			e.loads = make([]int, workers)
-		}
-		loads := e.loads[:workers]
-		for w := range loads {
-			loads[w] = 0
-		}
-		for _, id := range touched {
+		for _, n := range touched {
 			w := 0
 			for v := 1; v < workers; v++ {
 				if loads[v] < loads[w] {
 					w = v
 				}
 			}
-			e.nodeWorker[id] = int32(w)
-			loads[w] += int(e.nodeMsgs[id])
-		}
-		for _, j := range jobs {
-			w := e.nodeWorker[j.node.ID]
-			buckets[w] = append(buckets[w], j)
+			e.nodeWorker[n.ID] = int32(w)
+			loads[w] += int(e.nodeMsgs[n.ID])
 		}
 	}
-	for _, id := range touched {
-		e.nodeMsgs[id] = 0
+
+	// Batch layout: count batches per worker, prefix-sum into spans, then
+	// place one batch per node — worker-major, first-appearance order
+	// within a worker — and carve each batch's [lo, hi) window out of the
+	// job-order permutation.
+	if cap(e.batchSpans) < workers+1 {
+		e.batchSpans = make([]int32, workers+1)
+		e.batchCursor = make([]int32, workers)
+	}
+	spans := e.batchSpans[:workers+1]
+	cursor := e.batchCursor[:workers]
+	clear(spans)
+	for _, n := range touched {
+		spans[e.nodeWorker[n.ID]+1]++
+	}
+	for w := 0; w < workers; w++ {
+		spans[w+1] += spans[w]
+		cursor[w] = spans[w]
+	}
+	if cap(e.batchScratch) < len(touched) {
+		e.batchScratch = make([]applyBatch, len(touched), max(len(touched), 2*cap(e.batchScratch)))
+	}
+	batches := e.batchScratch[:len(touched)]
+	for _, n := range touched {
+		w := e.nodeWorker[n.ID]
+		batches[cursor[w]] = applyBatch{node: n}
+		cursor[w]++
+	}
+	var off int32
+	for b := range batches {
+		id := batches[b].node.ID
+		cnt := e.nodeMsgs[id]
+		batches[b].lo = off
+		batches[b].hi = off + cnt
+		// The count's job is done; the entry becomes the node's scatter
+		// cursor into jobOrder.
+		e.nodeMsgs[id] = off
+		off += cnt
+	}
+	e.batchScratch = batches
+
+	if cap(e.jobOrder) < len(jobs) {
+		e.jobOrder = make([]int32, len(jobs), max(len(jobs), 2*cap(e.jobOrder)))
+	}
+	order := e.jobOrder[:len(jobs)]
+	for k := range jobs {
+		id := jobs[k].node.ID
+		order[e.nodeMsgs[id]] = int32(k)
+		e.nodeMsgs[id]++
+	}
+	e.jobOrder = order
+
+	// Every touched entry now equals its batch's hi; reset for the next
+	// round.
+	for _, n := range touched {
+		e.nodeMsgs[n.ID] = 0
 	}
 }
 
@@ -836,29 +938,33 @@ func (e *Engine) shardRound(round []Message, workers int) {
 // First every payload the cycle sent is offered back to its free list —
 // each message lives in exactly one of the canonical list (proposed) or
 // one round buffer (follow-up), so Recycle runs exactly once per payload.
-// Then every apply-phase scratch buffer — the propose outboxes, the
-// canonical list, the routed job lists, the per-worker follow-up outboxes
+// Then every payload-carrying scratch buffer — the propose outboxes, the
+// canonical list, the routed job list, the per-worker follow-up outboxes
 // and the merged follow-ups, the round buffers — is cleared over its full
 // capacity extent; otherwise stale entries beyond the next cycle's
-// high-water mark would pin delivered payloads (and their nodes) for the
-// engine's lifetime.
+// high-water mark would pin delivered payloads for the engine's lifetime.
+// The batch descriptors and the touched list hold only *Node pointers,
+// which the arena keeps alive regardless, so they are deliberately not
+// cleared — at n = 10^6 that skips tens of megabytes of per-cycle
+// memset.
 func (e *Engine) releaseApplyScratch(outs []Proposals, depth int) {
 	for i := range e.msgScratch {
-		recyclePayload(&e.msgScratch[i])
+		if recyclePayload(&e.msgScratch[i]) {
+			e.payloadsRecycled++
+		}
 	}
 	for d := 0; d < depth; d++ {
 		buf := e.rounds[d]
 		for i := range buf {
-			recyclePayload(&buf[i])
+			if recyclePayload(&buf[i]) {
+				e.payloadsRecycled++
+			}
 		}
 	}
 	for w := range outs {
 		clear(outs[w].msgs[:cap(outs[w].msgs)])
 	}
 	clear(e.msgScratch[:cap(e.msgScratch)])
-	for w := range e.applyBuckets {
-		clear(e.applyBuckets[w][:cap(e.applyBuckets[w])])
-	}
 	clear(e.jobScratch[:cap(e.jobScratch)])
 	for w := range e.applyCtxs {
 		out := e.applyCtxs[w].outbox

@@ -53,6 +53,18 @@ type EngineStats struct {
 	// delivered message plus every undeliverable bounced to a live
 	// sender. Messages with no handling node at all are excluded.
 	ApplyJobs int64 `json:"apply_jobs"`
+	// ApplyBatches is the total number of per-node batches dispatched on
+	// sharded apply rounds: one batch per (distinct handling node, round).
+	// ApplyJobs/ApplyBatches is the mean batch size — the per-message
+	// dispatch overhead amortization the batched apply path buys. The
+	// single-worker fused path never materializes batches, so a
+	// one-worker engine keeps this at zero.
+	ApplyBatches int64 `json:"apply_batches"`
+	// PayloadsRecycled is the total number of message payloads returned to
+	// their free lists at cycle end (payloads implementing Recyclable).
+	// Engine-owned, unlike the process-global FreeListHits/FreeListMisses:
+	// it moves unconditionally and counts recycles, not Gets.
+	PayloadsRecycled int64 `json:"payloads_recycled"`
 	// ShardedRounds counts the apply rounds that ran on more than one
 	// worker; the Shard* load counters below accumulate over exactly
 	// these rounds (the single-worker fused path never shards).
@@ -111,6 +123,7 @@ type engineStats struct {
 	delayed, corrupted                atomic.Int64
 	proposeNanos, applyNanos          atomic.Int64
 	applyRounds, applyJobs            atomic.Int64
+	applyBatches, payloadsRecycled    atomic.Int64
 	shardedRounds, shardMin, shardMax atomic.Int64
 	shardMeanBits                     atomic.Uint64
 	liveRebuilds, poolTasks           atomic.Int64
@@ -132,6 +145,8 @@ func (e *Engine) publishStats() {
 	s.applyNanos.Store(e.applyNanos)
 	s.applyRounds.Store(e.applyRounds)
 	s.applyJobs.Store(e.applyJobs)
+	s.applyBatches.Store(e.applyBatches)
+	s.payloadsRecycled.Store(e.payloadsRecycled)
 	s.shardedRounds.Store(e.shardedRounds)
 	s.shardMin.Store(e.shardMinSum)
 	s.shardMax.Store(e.shardMaxSum)
@@ -148,23 +163,25 @@ func (e *Engine) Stats() EngineStats {
 	s := &e.stats
 	hits, misses := FreeListStats()
 	return EngineStats{
-		Cycles:         s.cycles.Load(),
-		Delivered:      s.delivered.Load(),
-		Dropped:        s.dropped.Load(),
-		Delayed:        s.delayed.Load(),
-		Corrupted:      s.corrupted.Load(),
-		Evals:          s.evals.Load(),
-		ProposeNanos:   s.proposeNanos.Load(),
-		ApplyNanos:     s.applyNanos.Load(),
-		ApplyRounds:    s.applyRounds.Load(),
-		ApplyJobs:      s.applyJobs.Load(),
-		ShardedRounds:  s.shardedRounds.Load(),
-		ShardMinLoad:   s.shardMin.Load(),
-		ShardMaxLoad:   s.shardMax.Load(),
-		ShardMeanLoad:  math.Float64frombits(s.shardMeanBits.Load()),
-		LiveRebuilds:   s.liveRebuilds.Load(),
-		PoolTasks:      s.poolTasks.Load(),
-		FreeListHits:   hits,
-		FreeListMisses: misses,
+		Cycles:           s.cycles.Load(),
+		Delivered:        s.delivered.Load(),
+		Dropped:          s.dropped.Load(),
+		Delayed:          s.delayed.Load(),
+		Corrupted:        s.corrupted.Load(),
+		Evals:            s.evals.Load(),
+		ProposeNanos:     s.proposeNanos.Load(),
+		ApplyNanos:       s.applyNanos.Load(),
+		ApplyRounds:      s.applyRounds.Load(),
+		ApplyJobs:        s.applyJobs.Load(),
+		ApplyBatches:     s.applyBatches.Load(),
+		PayloadsRecycled: s.payloadsRecycled.Load(),
+		ShardedRounds:    s.shardedRounds.Load(),
+		ShardMinLoad:     s.shardMin.Load(),
+		ShardMaxLoad:     s.shardMax.Load(),
+		ShardMeanLoad:    math.Float64frombits(s.shardMeanBits.Load()),
+		LiveRebuilds:     s.liveRebuilds.Load(),
+		PoolTasks:        s.poolTasks.Load(),
+		FreeListHits:     hits,
+		FreeListMisses:   misses,
 	}
 }

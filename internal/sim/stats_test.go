@@ -41,6 +41,12 @@ func TestStatsMatchesAccessors(t *testing.T) {
 	if s.ShardedRounds != 0 || s.ShardMinLoad != 0 || s.ShardMaxLoad != 0 || s.ShardMeanLoad != 0 {
 		t.Fatalf("single-worker engine recorded sharded rounds: %+v", s)
 	}
+	if s.ApplyBatches != 0 {
+		t.Fatalf("single-worker fused path materialized %d batches, want 0", s.ApplyBatches)
+	}
+	if s.PayloadsRecycled != 0 {
+		t.Fatalf("string payloads recycled %d times, want 0", s.PayloadsRecycled)
+	}
 	if s.PoolTasks != 0 {
 		t.Fatalf("single-worker engine submitted %d pool tasks", s.PoolTasks)
 	}
@@ -69,6 +75,11 @@ func TestStatsShardLoads(t *testing.T) {
 	}
 	if s.ApplyJobs != 64*cycles {
 		t.Fatalf("ApplyJobs = %d, want %d", s.ApplyJobs, 64*cycles)
+	}
+	// Each ring node receives exactly one ping per cycle, so every sharded
+	// round materializes one batch per node.
+	if s.ApplyBatches != 64*cycles {
+		t.Fatalf("ApplyBatches = %d, want %d (one batch per node per round)", s.ApplyBatches, 64*cycles)
 	}
 	if want := int64(16 * cycles); s.ShardMinLoad != want || s.ShardMaxLoad != want {
 		t.Fatalf("uniform ring shard loads min=%d max=%d, want both %d", s.ShardMinLoad, s.ShardMaxLoad, want)
@@ -183,7 +194,7 @@ func TestFreeListStatsCounting(t *testing.T) {
 	h0, m0 := FreeListStats()
 	p := fl.Get() // empty list: miss
 	fl.Put(p)
-	q := fl.Get() // just recycled: hit (sync.Pool keeps it, single goroutine, no GC)
+	q := fl.Get() // just recycled: hit (the list holds strong references)
 	h1, m1 := FreeListStats()
 	if m1-m0 < 1 {
 		t.Fatalf("miss counter did not move: %d -> %d", m0, m1)
@@ -199,6 +210,49 @@ func TestFreeListStatsCounting(t *testing.T) {
 	h3, m3 := FreeListStats()
 	if h3 != h2 || m3 != m2 {
 		t.Fatalf("counters moved while disabled: hits %d -> %d, misses %d -> %d", h2, h3, m2, m3)
+	}
+}
+
+// pooledPing is a recyclable ping payload, for pinning PayloadsRecycled.
+type pooledPing struct{ seq int64 }
+
+var pooledPingList FreeList[pooledPing]
+
+func (p *pooledPing) Recycle() {
+	*p = pooledPing{}
+	pooledPingList.Put(p)
+}
+
+// pooledPingProto sends one pooled payload per cycle to a fixed peer.
+type pooledPingProto struct{ next NodeID }
+
+func (p *pooledPingProto) Propose(n *Node, px *Proposals) {
+	pl := pooledPingList.Get()
+	pl.seq = px.Cycle()
+	px.Send(p.next, 0, pl)
+}
+
+func (p *pooledPingProto) Receive(n *Node, ax *ApplyContext, msg Message) {}
+
+// TestStatsPayloadsRecycled pins the engine-owned recycle counter: every
+// sent Recyclable payload — delivered or bounced — is recycled exactly
+// once per cycle, so the counter advances by the live population each
+// cycle.
+func TestStatsPayloadsRecycled(t *testing.T) {
+	const n, cycles = 32, 6
+	e := NewEngine(17)
+	defer e.Close()
+	e.SetNodeFactory(func(nd *Node) {
+		nd.Protocols = []Protocol{&pooledPingProto{next: NodeID((int64(nd.ID) + 1) % n)}}
+	})
+	e.AddNodes(n)
+	e.Crash(5) // one dead destination: its bounced legs must still recycle
+	e.Run(cycles)
+
+	s := e.Stats()
+	if want := int64((n - 1) * cycles); s.PayloadsRecycled != want {
+		t.Fatalf("PayloadsRecycled = %d, want %d (every sent payload, dropped legs included)",
+			s.PayloadsRecycled, want)
 	}
 }
 
